@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows/series the figure draws, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction report generator.
+
+Scenario benches (campus weeks, warehouse mobility) run the full
+simulation once per round — they measure end-to-end reproduction cost and
+assert the paper's qualitative findings; micro benches (trie, map-server)
+use tight pytest-benchmark loops.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks which paper figure/table a bench regenerates"
+    )
+
+
+@pytest.fixture
+def report():
+    """Print helper that survives pytest's output capture settings."""
+    def _print(text):
+        print("\n" + text)
+    return _print

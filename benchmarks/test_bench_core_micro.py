@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the core data structures (true tight loops).
+
+Not a paper figure — these quantify the substrate the fig. 7 result rests
+on: Patricia trie lookups are flat in occupancy, and the simulator's event
+loop sustains the event rates the scenario benches rely on.
+"""
+
+import pytest
+
+from repro.core.types import GroupId, VNId
+from repro.lisp.records import MappingDatabase, MappingRecord
+from repro.net.addresses import IPv4Address, Prefix
+from repro.net.trie import PatriciaTrie
+from repro.sim import Simulator
+
+
+def _filled_trie(count):
+    trie = PatriciaTrie()
+    for index in range(count):
+        trie.insert(Prefix(IPv4Address(0x0A000000 + index), 32), index)
+    return trie
+
+
+@pytest.mark.figure("micro")
+@pytest.mark.parametrize("occupancy", [100, 10000])
+def test_trie_lookup_flat_in_occupancy(benchmark, occupancy):
+    trie = _filled_trie(occupancy)
+    target = IPv4Address(0x0A000000 + occupancy // 2)
+    result = benchmark(trie.lookup_longest, target)
+    assert result is not None
+
+
+@pytest.mark.figure("micro")
+def test_trie_insert_delete_cycle(benchmark):
+    trie = _filled_trie(1000)
+    prefix = Prefix(IPv4Address(0x0B000000), 32)
+
+    def cycle():
+        trie.insert(prefix, "x")
+        trie.delete(prefix)
+
+    benchmark(cycle)
+    assert len(trie) == 1000
+
+
+@pytest.mark.figure("micro")
+def test_mapping_database_register_lookup(benchmark):
+    db = MappingDatabase()
+    vn = VNId(1)
+    rloc = IPv4Address.parse("192.168.0.1")
+    for index in range(5000):
+        db.register(MappingRecord(vn, Prefix(IPv4Address(0x0A000000 + index), 32),
+                                  rloc, group=GroupId(1)))
+    target = IPv4Address(0x0A000000 + 2500)
+    result = benchmark(db.lookup, vn, target)
+    assert result is not None
+
+
+@pytest.mark.figure("micro")
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(0.001, chain, remaining - 1)
+
+        chain(10_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark.pedantic(run_10k_events, rounds=3, iterations=1)
+    assert events == 10_000

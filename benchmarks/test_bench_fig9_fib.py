@@ -1,0 +1,73 @@
+"""Fig. 9 + the sec. 4.2 headline — FIB state, border vs. edge.
+
+Paper findings reproduced:
+  * border FIB follows presence (day >> night on weekdays);
+  * edge FIB (reactive cache) stays far below the border's in building B
+    (~6-12%) and moderately below in building A;
+  * overall forwarding state cut vs. a push-everything baseline ("up to
+    70%" in the paper; building B exceeds that).
+"""
+
+import pytest
+
+from repro.experiments.fib_state import (
+    run_building,
+    state_reduction_vs_proactive,
+    weekly_pattern,
+)
+from repro.experiments.reporting import format_series
+from repro.workloads.campus import BUILDING_A, BUILDING_B
+
+#: One compressed week keeps the bench under a minute per building.
+TIME_SCALE = 12.0
+
+
+@pytest.mark.figure("fig9")
+def test_fig9_building_a(benchmark, report):
+    workload = benchmark.pedantic(
+        lambda: run_building(BUILDING_A, weeks=1, time_scale=TIME_SCALE),
+        rounds=1, iterations=1,
+    )
+    report(format_series(workload.border_series, "building A border FIB"))
+    report(format_series(workload.edge_series, "building A edge FIB"))
+    border_ratio, edge_ratio = weekly_pattern(workload)
+    # Border tracks presence; edges retain cached routes overnight.
+    assert border_ratio > 2.0
+    assert edge_ratio < border_ratio
+    summary = workload.summarize()
+    assert summary["edge"]["all"] < summary["border"]["all"]
+
+
+@pytest.mark.figure("fig9")
+def test_fig9_building_b(benchmark, report):
+    workload = benchmark.pedantic(
+        lambda: run_building(BUILDING_B, weeks=1, time_scale=TIME_SCALE),
+        rounds=1, iterations=1,
+    )
+    report(format_series(workload.border_series, "building B border FIB"))
+    report(format_series(workload.edge_series, "building B edge FIB"))
+    summary = workload.summarize()
+    # The paper's fig. 9 text: B's edges carry as little as ~6% of the
+    # border's entries; we accept anything under 20%.
+    assert summary["edge"]["all"] < 0.2 * summary["border"]["all"]
+    # Large always-on population: nighttime border FIB stays high.
+    assert summary["border"]["night"] > 150
+
+
+@pytest.mark.figure("sec4.2-headline")
+def test_headline_state_reduction(benchmark, report):
+    workload = benchmark.pedantic(
+        lambda: run_building(BUILDING_B, weeks=1, time_scale=TIME_SCALE),
+        rounds=1, iterations=1,
+    )
+    reduction = state_reduction_vs_proactive(workload)
+    summary = workload.summarize()
+    per_edge = 1.0 - summary["edge"]["all"] / summary["border"]["all"]
+    report("Building B forwarding-state reduction vs proactive: "
+           "whole-fabric %.0f%%, per-edge %.0f%%"
+           % (100 * reduction, 100 * per_edge))
+    # Paper headline: "reduce overall data plane forwarding state up to
+    # 70%".  Per-edge the reduction clears 70% comfortably; whole-fabric
+    # it is capped by the borders, which keep full state by design.
+    assert per_edge >= 0.70
+    assert reduction >= 0.60

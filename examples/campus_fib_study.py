@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Campus FIB study (fig. 9 / table 5): run buildings A and B through a
+simulated week and print the border-vs-edge FIB series and averages.
+
+Run:  python examples/campus_fib_study.py [--weeks N] [--scale S]
+
+``--scale`` compresses macro time (default 12 = 2-hour days) so a week
+simulates in seconds; the cache dynamics are scale-invariant.
+"""
+
+import argparse
+
+from repro.experiments.fib_state import state_reduction_vs_proactive
+from repro.experiments.reporting import format_series, format_table
+from repro.workloads.campus import BUILDING_A, BUILDING_B, CampusWorkload
+
+
+def run_building(profile, weeks, scale, seed):
+    print("\n=== %s: %d endpoints, %d edges, %d border(s) ===" % (
+        profile.name, profile.total_endpoints, profile.num_edges,
+        profile.num_borders))
+    workload = CampusWorkload(profile, seed=seed, time_scale=scale)
+    workload.run(weeks=weeks)
+
+    print(format_series(workload.border_series, "border FIB entries (hourly)"))
+    print(format_series(workload.edge_series, "edge FIB entries (hourly)"))
+
+    summary = workload.summarize()
+    rows = []
+    for role in ("border", "edge"):
+        for period in ("all", "day", "night"):
+            value = summary[role][period]
+            rows.append([role, period, "%.0f" % (value or 0.0)])
+    rows.append(["decrease", "all", "%.0f%%" % (100 * summary["decrease_all"])])
+    print(format_table(["router", "period", "mean FIB"], rows,
+                       title="Table 5 row (%s)" % profile.name))
+    print("Total forwarding-state reduction vs push-everything: %.0f%%"
+          % (100 * state_reduction_vs_proactive(workload)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--weeks", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=12.0,
+                        help="time compression factor (1.0 = real days)")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    for profile in (BUILDING_A, BUILDING_B):
+        run_building(profile, args.weeks, args.scale, args.seed)
+
+
+if __name__ == "__main__":
+    main()

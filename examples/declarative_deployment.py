@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Declarative deployment: build a segmented campus from one JSON spec
+and inspect it with the fabric's show commands.
+
+Run:  python examples/declarative_deployment.py
+"""
+
+import json
+
+from repro.fabric import build_from_json
+from repro.fabric.inspect import show_fabric, show_group_acl, show_vrf
+
+SPEC = {
+    "fabric": {"num_borders": 1, "num_edges": 4, "seed": 11},
+    "vns": [
+        {"name": "corp", "id": 4098, "prefix": "10.1.0.0/16"},
+        {"name": "iot", "id": 4099, "prefix": "10.2.0.0/16"},
+    ],
+    "groups": [
+        {"name": "employees", "id": 10, "vn": "corp"},
+        {"name": "printers", "id": 20, "vn": "corp"},
+        {"name": "sensors", "id": 30, "vn": "iot"},
+    ],
+    "rules": [
+        {"from": "employees", "to": "printers",
+         "action": "allow", "symmetric": True},
+    ],
+    "endpoints": [
+        {"identity": "alice", "group": "employees", "vn": "corp", "edge": 0},
+        {"identity": "bob", "group": "employees", "vn": "corp", "edge": 1},
+        {"identity": "printer-1", "group": "printers", "vn": "corp", "edge": 2},
+        {"identity": "sensor-1", "group": "sensors", "vn": "iot", "edge": 3},
+    ],
+}
+
+
+def main():
+    net = build_from_json(json.dumps(SPEC))
+    print(show_fabric(net))
+
+    alice = net.endpoint("alice")
+    printer = net.endpoint("printer-1")
+    sensor = net.endpoint("sensor-1")
+
+    # Allowed, cross-edge traffic (twice: resolve, then direct).
+    net.send(alice, printer)
+    net.settle()
+    net.send(alice, printer)
+    net.settle()
+    print("\nalice -> printer delivered:", printer.packets_received)
+
+    # Cross-VN: the sensor is unreachable from corp by construction.
+    net.send(alice, sensor.ip)
+    net.settle()
+    print("alice -> sensor delivered:", sensor.packets_received,
+          "(different VN: isolated)")
+
+    print()
+    print(show_vrf(net.edges[2]))
+    print()
+    print(show_group_acl(net.edges[2]))
+
+
+if __name__ == "__main__":
+    main()

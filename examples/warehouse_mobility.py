@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Warehouse massive mobility (fig. 10/11): robots roaming between two
+edges at hundreds of moves per second, LISP (reactive) vs BGP (proactive).
+
+Run:  python examples/warehouse_mobility.py [--full]
+
+The default is a CI-sized scenario (198 source edges, 2000 robots,
+800 moves/s, 0.5 s of measurement).  ``--full`` runs the paper's scale:
+16,000 robots — expect a few minutes of wall-clock time.
+"""
+
+import argparse
+
+from repro.experiments.handover import run_fig11
+from repro.experiments.reporting import format_cdf, format_table
+from repro.workloads.warehouse import WarehouseScenario
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper scale: 16,000 robots")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    if args.full:
+        scenario = WarehouseScenario.paper_scale(seed=args.seed)
+    else:
+        scenario = WarehouseScenario.ci_scale(seed=args.seed)
+    print("scenario: %d source edges, %d robots, %d moves/s"
+          % (scenario.num_source_edges, scenario.num_hosts,
+             scenario.moves_per_second))
+
+    result = run_fig11(scenario)
+
+    print(format_cdf(result["lisp_cdf"], "LISP handover delay (rel. to min)"))
+    print(format_cdf(result["bgp_cdf"], "BGP handover delay (rel. to min)"))
+    lisp, bgp = result["lisp_box"], result["bgp_box"]
+    print(format_table(
+        ["protocol", "samples", "median", "q3", "p97.5"],
+        [["LISP", lisp.count, "%.1f" % lisp.median,
+          "%.1f" % lisp.q3, "%.1f" % lisp.whisker_high],
+         ["BGP", bgp.count, "%.1f" % bgp.median,
+          "%.1f" % bgp.q3, "%.1f" % bgp.whisker_high]],
+        title="Fig 11: handover delay relative to minimum"))
+    print("\nBGP/LISP median ratio: %.1fx (paper: ~5-10x)"
+          % result["median_ratio"])
+    print("BGP/LISP IQR ratio:    %.1fx (proactive variance is higher)"
+          % result["iqr_ratio"])
+
+    server = result["lisp_run"].fabric.routing_server.stats
+    print("\nLISP control plane during the run: %d mobility registers, "
+          "%d notifies (one affected party each), %d requests"
+          % (server.mobility_registers, server.notifies_sent, server.requests))
+    reflector = result["bgp_run"].reflector
+    print("BGP route reflector: %d advertisements in, %d updates pushed "
+          "(~%d peers each)"
+          % (reflector.advertisements_received, reflector.updates_pushed,
+             reflector.peer_count - 1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Baselines SDA is evaluated against.
+
+* :mod:`repro.baselines.bgp` — a proactive control plane with a
+  centralized route reflector, the comparator of the warehouse handover
+  experiment (fig. 11) and of the state-reduction discussion (sec. 4.2).
+* :mod:`repro.baselines.wlc` — the classic centralized WLAN-controller
+  data plane (sec. 2 "Mobility"), exhibiting the triangular routing and
+  bottleneck behaviour the paper's L3-overlay design removes.
+"""
+
+from repro.baselines.bgp import BgpRouteReflector, BgpPeer, BgpUpdate
+from repro.baselines.wlc import WlanController, AccessPointTunnel
+
+__all__ = [
+    "BgpRouteReflector",
+    "BgpPeer",
+    "BgpUpdate",
+    "WlanController",
+    "AccessPointTunnel",
+]

@@ -1,0 +1,135 @@
+"""Centralized WLAN controller baseline (the sec. 2 mobility status quo).
+
+"A gateway device (WLAN controller) acts as a sink for all traffic from
+all access points, performs access control, and re-injects it to the L3
+network.  This approach presents a serious scalability limitation because
+the gateway device becomes a bottleneck ... it creates triangular routing
+because all L3 traffic is forced to go to the gateway and then back to
+the actual destination."
+
+The model: every access point tunnels all client traffic to the
+controller; the controller serializes packets through one processing
+queue and re-injects them.  Two measurable effects for the ablation
+benches:
+
+* **path stretch** — AP -> WLC -> destination vs. the SDA direct path;
+* **bottleneck queueing** — controller delay grows with offered load,
+  while SDA's distributed data plane spreads it across edges.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+
+class AccessPointTunnel:
+    """One AP: clients' traffic is tunneled to the controller."""
+
+    def __init__(self, sim, name, node, controller, underlay, rloc):
+        self.sim = sim
+        self.name = name
+        self.node = node
+        self.controller = controller
+        self.underlay = underlay
+        self.rloc = rloc
+        self.clients = {}   # overlay ip -> client sink callable
+        self.packets_tunneled = 0
+        underlay.attach(rloc, node, self._on_packet)
+        controller.register_ap(self)
+
+    def attach_client(self, ip, sink):
+        self.clients[ip] = sink
+        self.controller.register_client(ip, self)
+
+    def detach_client(self, ip):
+        self.clients.pop(ip, None)
+        self.controller.unregister_client(ip, self)
+
+    def inject_from_client(self, packet):
+        """All client traffic goes to the controller — no local switching."""
+        self.packets_tunneled += 1
+        self.underlay.send(self.rloc, self.controller.rloc, packet)
+
+    def _on_packet(self, packet):
+        """Traffic back from the controller for one of our clients."""
+        inner = packet.inner_ip()
+        if inner is None:
+            return
+        sink = self.clients.get(inner.dst)
+        if sink is not None:
+            sink(packet, self.sim.now)
+
+
+class WlanController:
+    """The centralized gateway: single processing queue, full client map."""
+
+    def __init__(self, sim, underlay, rloc, node, service_s=8e-6,
+                 handover_service_s=500e-6):
+        self.sim = sim
+        self.underlay = underlay
+        self.rloc = rloc
+        self.service_s = service_s
+        self.handover_service_s = handover_service_s
+        self._busy_until = 0.0
+        self._aps = []
+        self._client_ap = {}   # overlay ip -> AccessPointTunnel
+        self.packets_processed = 0
+        self.handovers_processed = 0
+        self.max_queue_delay_s = 0.0
+        underlay.attach(rloc, node, self._on_packet)
+
+    def register_ap(self, ap):
+        self._aps.append(ap)
+
+    def register_client(self, ip, ap):
+        """Client association; handover work happens on the controller CPU."""
+        previous = self._client_ap.get(ip)
+        self._queue(self.handover_service_s, self._apply_association, ip, ap)
+        if previous is not None:
+            self.handovers_processed += 1
+
+    def unregister_client(self, ip, ap):
+        if self._client_ap.get(ip) is ap:
+            self._queue(self.handover_service_s, self._apply_disassociation, ip, ap)
+
+    def _apply_association(self, ip, ap):
+        self._client_ap[ip] = ap
+
+    def _apply_disassociation(self, ip, ap):
+        if self._client_ap.get(ip) is ap:
+            del self._client_ap[ip]
+
+    # -- the bottleneck queue ---------------------------------------------------------
+    def _queue(self, service, fn, *args):
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + service
+        self.max_queue_delay_s = max(self.max_queue_delay_s, start - now)
+        self.sim.schedule(self._busy_until - now, fn, *args)
+
+    def _on_packet(self, packet):
+        self._queue(self.service_s, self._forward, packet)
+
+    def _forward(self, packet):
+        self.packets_processed += 1
+        inner = packet.inner_ip()
+        if inner is None:
+            return
+        ap = self._client_ap.get(inner.dst)
+        if ap is None:
+            return  # client gone: dropped at the controller
+        self.underlay.send(self.rloc, ap.rloc, packet)
+
+    @property
+    def client_count(self):
+        return len(self._client_ap)
+
+    def path_stretch(self, src_node, dst_node):
+        """Triangular-routing stretch: (src->wlc->dst) / (src->dst) delay."""
+        wlc_node = self.underlay.attachment_node(self.rloc)
+        direct = self.underlay.path_delay(src_node, dst_node)
+        via = (self.underlay.path_delay(src_node, wlc_node) or 0.0) + \
+              (self.underlay.path_delay(wlc_node, dst_node) or 0.0)
+        if not direct:
+            raise ConfigurationError("no direct path %s -> %s" % (src_node, dst_node))
+        return via / direct

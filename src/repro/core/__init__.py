@@ -1,0 +1,44 @@
+"""Core types, identifiers, errors and configuration shared across repro.
+
+This subpackage holds the vocabulary of the SDA fabric: virtual network
+identifiers, group identifiers, endpoint identities, and the exception
+hierarchy used throughout the library.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    ConfigurationError,
+    AuthenticationError,
+    PolicyError,
+    RoutingError,
+    NoRouteError,
+    EncapsulationError,
+    SimulationError,
+)
+from repro.core.types import (
+    VNId,
+    GroupId,
+    RouterId,
+    EndpointId,
+    PortId,
+    DEFAULT_VN,
+    UNKNOWN_GROUP,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AuthenticationError",
+    "PolicyError",
+    "RoutingError",
+    "NoRouteError",
+    "EncapsulationError",
+    "SimulationError",
+    "VNId",
+    "GroupId",
+    "RouterId",
+    "EndpointId",
+    "PortId",
+    "DEFAULT_VN",
+    "UNKNOWN_GROUP",
+]

@@ -1,0 +1,152 @@
+"""Fig. 12: permille of ACL hits landing on drop rules (egress waste).
+
+The paper monitored three devices (a VPN gateway, a branch router, a
+campus edge) serving ~11,000 endpoints for 5 days and found at most
+0.2 permille of policy hits were drops — the empirical justification for
+egress enforcement (the bandwidth "wasted" carrying to-be-dropped traffic
+across the fabric is negligible).
+
+The model behind the numbers: humans stop asking.  After a new policy
+lands, endpoints that used to reach a destination retry a few times,
+then give up ("when endpoints (which are usually humans) realize they
+cannot access this particular destination, they stop requesting it" —
+sec. 5.3).  Steady-state drops then come only from *novel* denied
+destinations, whose rate depends on the user population:
+
+* VPN gateway — remote users, most diverse destination mix (paper: the
+  VPN device shows "a significantly larger amount of drops");
+* branch — intermediate;
+* campus — most habitual traffic, fewest novel denied destinations.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import GroupId
+from repro.policy.acl import GroupAcl
+from repro.policy.matrix import ConnectivityMatrix, PolicyAction
+from repro.sim.rng import SeededRng
+
+
+class DeviceProfile:
+    """Traffic mix of one monitored enforcement device."""
+
+    def __init__(self, name, endpoints, flows_per_endpoint_day,
+                 novel_denied_rate, retry_count=3):
+        self.name = name
+        self.endpoints = endpoints
+        self.flows_per_endpoint_day = flows_per_endpoint_day
+        #: probability a flow targets a (denied) destination the user has
+        #: not yet learned is unreachable
+        self.novel_denied_rate = novel_denied_rate
+        #: how many times a human retries before giving up
+        self.retry_count = retry_count
+
+
+#: Calibrated to the paper's fig. 12 ordering: VPN > branch > campus,
+#: all at or below ~0.2 permille.
+VPN_PROFILE = DeviceProfile("VPN", endpoints=2500, flows_per_endpoint_day=300,
+                            novel_denied_rate=4.0e-5, retry_count=4)
+BRANCH_PROFILE = DeviceProfile("Branch", endpoints=3000,
+                               flows_per_endpoint_day=400,
+                               novel_denied_rate=1.2e-5, retry_count=3)
+CAMPUS_PROFILE = DeviceProfile("Campus", endpoints=5500,
+                               flows_per_endpoint_day=500,
+                               novel_denied_rate=0.4e-5, retry_count=3)
+
+
+def _build_matrix(num_groups=12, allow_fraction=0.4, seed=7):
+    """A realistic connectivity matrix: mostly-deny with allowed islands."""
+    rng = SeededRng(seed)
+    matrix = ConnectivityMatrix()
+    for src in range(1, num_groups + 1):
+        for dst in range(1, num_groups + 1):
+            if src == dst:
+                continue
+            action = PolicyAction.ALLOW if rng.random() < allow_fraction \
+                else PolicyAction.DENY
+            matrix.set_rule(GroupId(src), GroupId(dst), action)
+    return matrix
+
+
+def run_device(profile, days=5, num_groups=12, seed=7):
+    """Simulate one device's 5-day ACL hit ledger; returns permille drops.
+
+    Flow loop per endpoint-day: mostly habitual allowed flows; with
+    probability ``novel_denied_rate`` the user tries a denied destination
+    and retries ``retry_count`` times before learning better.
+    """
+    rng = SeededRng(seed + hash(profile.name) % 1000)
+    matrix = _build_matrix(num_groups=num_groups, seed=seed)
+    acl = GroupAcl()
+    acl.program(matrix.rules())
+
+    allowed_pairs = [r.key for r in matrix.rules() if r.action == PolicyAction.ALLOW]
+    denied_pairs = [r.key for r in matrix.rules() if r.action == PolicyAction.DENY]
+    if not allowed_pairs or not denied_pairs:
+        raise RuntimeError("matrix needs both allow and deny rules")
+
+    total_flows = profile.endpoints * profile.flows_per_endpoint_day * days
+    # Habitual allowed traffic dominates.  Evaluate a sample through the
+    # real ACL (exercising the lookup path) and bulk-account the rest —
+    # the permille only needs the hit/drop ledger, not per-packet work.
+    episodes = 0
+    remaining = total_flows
+    while remaining > 0:
+        batch = min(remaining, 10000)
+        expected_novel = batch * profile.novel_denied_rate
+        whole = int(expected_novel)
+        if rng.random() < (expected_novel - whole):
+            whole += 1
+        episodes += whole
+        allowed_hits = batch - whole
+        sampled = min(allowed_hits, 200)
+        for _ in range(sampled):
+            src, dst = allowed_pairs[rng.randint(0, len(allowed_pairs) - 1)]
+            acl.evaluate(GroupId(src), GroupId(dst))
+        acl.hits += allowed_hits - sampled
+        remaining -= batch
+    # Each novel-denied episode: initial attempt + human retries, all drops.
+    for _ in range(episodes):
+        src, dst = denied_pairs[rng.randint(0, len(denied_pairs) - 1)]
+        attempts = 1 + rng.randint(1, profile.retry_count)
+        for _ in range(attempts):
+            acl.evaluate(GroupId(src), GroupId(dst))
+    return acl.drop_permille
+
+
+def run_fig12(days=5, seed=7):
+    """All three devices; returns {name: permille} (paper: <= ~0.2)."""
+    return {
+        profile.name: run_device(profile, days=days, seed=seed)
+        for profile in (VPN_PROFILE, BRANCH_PROFILE, CAMPUS_PROFILE)
+    }
+
+
+def transient_after_policy_update(profile=VPN_PROFILE, affected_users=400,
+                                  seed=9):
+    """The sec. 5.3 transient: drops spike right after a policy lands.
+
+    Returns (transient_permille, steady_permille) — the transient window
+    sees every affected user run through the retry sequence, the steady
+    state returns to the novel-destination floor.
+    """
+    rng = SeededRng(seed)
+    matrix = _build_matrix(seed=seed)
+    acl = GroupAcl()
+    acl.program(matrix.rules())
+    denied_pairs = [r.key for r in matrix.rules() if r.action == PolicyAction.DENY]
+    allowed_pairs = [r.key for r in matrix.rules() if r.action == PolicyAction.ALLOW]
+
+    # Transient hour: affected users hammer the newly denied destination.
+    background = affected_users * 50
+    for _ in range(background):
+        src, dst = allowed_pairs[rng.randint(0, len(allowed_pairs) - 1)]
+        acl.evaluate(GroupId(src), GroupId(dst))
+    for _ in range(affected_users):
+        src, dst = denied_pairs[rng.randint(0, len(denied_pairs) - 1)]
+        for _ in range(1 + rng.randint(1, profile.retry_count)):
+            acl.evaluate(GroupId(src), GroupId(dst))
+    transient = acl.drop_permille
+
+    steady = run_device(profile, days=1, seed=seed)
+    return transient, steady

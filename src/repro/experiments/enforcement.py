@@ -1,0 +1,124 @@
+"""Sec. 5.3 ablation: ingress vs. egress policy enforcement.
+
+The trade-off the paper discusses:
+
+* **egress** (SDA's choice) — less data-plane state (an edge only needs
+  rules whose destination groups are attached locally) and signaling-free
+  policy freshness (re-auth refreshes the (IP, GroupId) pair), at the
+  cost of carrying to-be-dropped traffic across the underlay;
+* **ingress** — saves that wasted bandwidth but needs rules for *all*
+  destination groups on every edge, plus a mechanism to learn destination
+  groups (and to be told when they change — fig. 13's staleness problem).
+
+This module builds two identical fabrics differing only in enforcement
+point, runs the same denied-heavy traffic mix, and reports state, wasted
+bytes, and the staleness window after a group move.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.edge import ENFORCE_EGRESS, ENFORCE_INGRESS
+from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.sim.rng import SeededRng
+
+VN = 300
+
+
+def _build(enforcement, num_edges=4, endpoints_per_group=6, seed=21):
+    """A fabric with three groups and a mostly-deny matrix."""
+    fabric = FabricNetwork(FabricConfig(
+        num_borders=1, num_edges=num_edges, enforcement=enforcement, seed=seed,
+    ))
+    fabric.define_vn("ablate", VN, "10.200.0.0/16")
+    fabric.define_group("eng", 1, VN)
+    fabric.define_group("finance", 2, VN)
+    fabric.define_group("guests", 3, VN)
+    fabric.allow("eng", "finance")
+    fabric.deny("guests", "finance")
+    fabric.deny("guests", "eng")
+
+    rng = SeededRng(seed)
+    members = {"eng": [], "finance": [], "guests": []}
+    for group in members:
+        for index in range(endpoints_per_group):
+            endpoint = fabric.create_endpoint("%s-%d" % (group, index), group, VN)
+            members[group].append(endpoint)
+            fabric.admit(endpoint, rng.randint(0, num_edges - 1))
+    fabric.settle()
+    return fabric, members
+
+
+def _drive_traffic(fabric, members, flows=300, seed=22):
+    """Guests hammer finance (denied) while eng talks to finance (allowed)."""
+    rng = SeededRng(seed)
+    for _ in range(flows):
+        if rng.random() < 0.5:
+            src = rng.choice(members["guests"])
+            dst = rng.choice(members["finance"])
+        else:
+            src = rng.choice(members["eng"])
+            dst = rng.choice(members["finance"])
+        if src.attached and dst.ip is not None:
+            fabric.send(src, dst.ip, size=1000)
+        fabric.run_for(0.01)
+    fabric.settle()
+
+
+def run_ablation(flows=300, seed=21):
+    """Compare the two enforcement points; returns a comparison dict."""
+    results = {}
+    for mode in (ENFORCE_EGRESS, ENFORCE_INGRESS):
+        fabric, members = _build(mode, seed=seed)
+        baseline_bytes = _underlay_bytes(fabric)
+        _drive_traffic(fabric, members, flows=flows, seed=seed + 1)
+        denied_crossings = sum(
+            edge.counters.policy_drops - edge.counters.ingress_policy_drops
+            for edge in fabric.edges
+        )
+        results[mode] = {
+            "acl_rules_total": sum(len(edge.acl) for edge in fabric.edges),
+            "policy_drops": fabric.total_policy_drops(),
+            "ingress_drops": sum(
+                edge.counters.ingress_policy_drops for edge in fabric.edges
+            ),
+            "denied_bytes_crossed_underlay": denied_crossings * 1000,
+            "underlay_bytes": _underlay_bytes(fabric) - baseline_bytes,
+        }
+    return results
+
+
+def _underlay_bytes(fabric):
+    return fabric.underlay.bytes_delivered
+
+
+def staleness_after_group_move(seed=31):
+    """Fig. 13: after a destination's group changes, egress enforcement is
+    immediately correct (re-auth refreshes the VRF pair); an ingress
+    enforcer keeps using the stale cached group until its cache entry is
+    refreshed.
+
+    Returns dict with per-mode booleans: was the *new* policy enforced on
+    the first packet after the move?
+    """
+    outcome = {}
+    for mode in (ENFORCE_EGRESS, ENFORCE_INGRESS):
+        fabric, members = _build(mode, seed=seed)
+        src = members["eng"][0]
+        dst = members["finance"][0]
+        # Warm the path (resolves dst, caching its group on the ingress).
+        fabric.send(src, dst.ip)
+        fabric.settle()
+        delivered_before = dst.packets_received
+
+        # Move dst into "guests"; eng->guests has no allow rule => deny.
+        fabric.deny("eng", "guests", symmetric=True)
+        fabric.move_endpoint_group(dst, "guests")
+        fabric.settle()
+
+        fabric.send(src, dst.ip)
+        fabric.settle()
+        outcome[mode] = {
+            "delivered_after_move": dst.packets_received - delivered_before,
+            "new_policy_enforced_immediately": dst.packets_received == delivered_before,
+        }
+    return outcome

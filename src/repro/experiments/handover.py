@@ -1,0 +1,87 @@
+"""Fig. 11: handover delay under massive mobility, LISP vs BGP.
+
+Also covers the sec. 3.4 signaling claim: reactive handover signaling is
+linear in the number of *roaming endpoints*, while proactive signaling
+also scales with the number of *routers*.
+"""
+
+from __future__ import annotations
+
+from repro.stats.summaries import boxplot, cdf_points
+from repro.workloads.warehouse import (
+    WarehouseBgpRun,
+    WarehouseLispRun,
+    WarehouseScenario,
+)
+
+
+def run_fig11(scenario=None):
+    """Run both sides; returns a dict with normalized CDFs and the ratio.
+
+    All delays are normalized to the minimum observed across both runs,
+    exactly like the paper's fig. 11 x-axis.
+    """
+    scenario = scenario or WarehouseScenario.ci_scale()
+    lisp_run = WarehouseLispRun(scenario)
+    lisp_samples = lisp_run.run()
+    bgp_run = WarehouseBgpRun(scenario)
+    bgp_samples = bgp_run.run()
+    if not lisp_samples or not bgp_samples:
+        raise RuntimeError("handover experiment produced no samples")
+    floor = min(min(lisp_samples), min(bgp_samples))
+    lisp_rel = [s / floor for s in lisp_samples]
+    bgp_rel = [s / floor for s in bgp_samples]
+    lisp_box = boxplot(lisp_rel)
+    bgp_box = boxplot(bgp_rel)
+    return {
+        "lisp_samples_s": lisp_samples,
+        "bgp_samples_s": bgp_samples,
+        "lisp_cdf": cdf_points(lisp_rel, num_points=50),
+        "bgp_cdf": cdf_points(bgp_rel, num_points=50),
+        "lisp_box": lisp_box,
+        "bgp_box": bgp_box,
+        "median_ratio": bgp_box.median / lisp_box.median,
+        "iqr_ratio": ((bgp_box.q3 - bgp_box.q1) / max(lisp_box.q3 - lisp_box.q1, 1e-12)),
+        "lisp_run": lisp_run,
+        "bgp_run": bgp_run,
+    }
+
+
+def run_signaling_scaling(edge_counts=(25, 50, 100, 198), moves=120, seed=3):
+    """Sec. 3.4: control messages per move vs. fabric size.
+
+    For each edge count, run a short burst of moves and count control
+    messages attributable to mobility:
+
+    * LISP — Map-Registers + Map-Notifies + SMRs + re-resolutions
+      (bounded by the number of *active talkers*, independent of N);
+    * BGP — route-reflector pushes (= N-1 per move, by construction).
+
+    Returns rows of (edges, lisp_msgs_per_move, bgp_msgs_per_move).
+    """
+    rows = []
+    for count in edge_counts:
+        scenario = WarehouseScenario(
+            num_source_edges=count, num_hosts=400,
+            moves_per_second=200, monitored_hosts=20,
+            measure_duration_s=moves / 200.0, warmup_s=0.1, seed=seed,
+        )
+        lisp_run = WarehouseLispRun(scenario)
+        lisp_run.run()
+        server = lisp_run.fabric.routing_server.stats
+        lisp_msgs = (
+            server.mobility_registers + server.notifies_sent
+            + sum(e.counters.smr_sent for e in lisp_run.fabric.edges)
+            + sum(e.counters.smr_received for e in lisp_run.fabric.edges)
+        )
+        lisp_moves = max(server.mobility_registers, 1)
+
+        bgp_run = WarehouseBgpRun(scenario)
+        bgp_run.run()
+        bgp_moves = max(bgp_run.reflector.advertisements_received, 1)
+        rows.append({
+            "edges": count,
+            "lisp_msgs_per_move": lisp_msgs / lisp_moves,
+            "bgp_msgs_per_move": bgp_run.reflector.updates_pushed / bgp_moves,
+        })
+    return rows

@@ -1,0 +1,127 @@
+"""Sec. 5.4: policy update strategies — move users vs. edit the matrix.
+
+The paper's operational finding: depending on the group structure, it can
+cost less signaling to *move endpoints between groups* (each move is one
+re-auth at the endpoint's own edge) than to *edit the group-based ACLs*
+(each rule edit must be pushed to every edge hosting the affected
+destination group).
+
+This experiment measures both strategies' control-message counts over
+deployments with different group shapes ("few large groups" vs. "many
+small groups") and reports the crossover the paper describes, using the
+acquisition scenario: a set of endpoints must end up with a different
+effective policy.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.sim.rng import SeededRng
+
+VN = 500
+
+
+def _build(num_edges, num_groups, endpoints_per_group, seed=41):
+    fabric = FabricNetwork(FabricConfig(num_borders=1, num_edges=num_edges,
+                                        seed=seed))
+    fabric.define_vn("acme", VN, "10.210.0.0/16")
+    groups = []
+    for index in range(num_groups):
+        name = "group-%d" % index
+        fabric.define_group(name, 10 + index, VN)
+        groups.append(name)
+    # A staff group every endpoint may need to land in (the acquisition
+    # target) plus a default allow fabric between adjacent groups.
+    fabric.define_group("staff", 9, VN)
+    for name in groups:
+        fabric.allow(name, "staff")
+    rng = SeededRng(seed)
+    members = {name: [] for name in groups}
+    for name in groups:
+        for index in range(endpoints_per_group):
+            endpoint = fabric.create_endpoint(
+                "%s-ep%d" % (name, index), name, VN
+            )
+            members[name].append(endpoint)
+            fabric.admit(endpoint, rng.randint(0, num_edges - 1))
+    fabric.settle(max_time=120.0)
+    return fabric, groups, members
+
+
+def _message_baseline(fabric):
+    return {
+        "sxp": fabric.sxp.updates_sent,
+        "auth": sum(e.counters.auth_requests_sent for e in fabric.edges),
+        "registers": sum(e.counters.map_registers_sent for e in fabric.edges),
+    }
+
+
+def _message_cost(fabric, baseline):
+    return (
+        (fabric.sxp.updates_sent - baseline["sxp"])
+        + (sum(e.counters.auth_requests_sent for e in fabric.edges) - baseline["auth"])
+        + (sum(e.counters.map_registers_sent for e in fabric.edges)
+           - baseline["registers"])
+    )
+
+
+def strategy_move_endpoints(fabric, members, source_group, seed=43):
+    """Acquisition handling A: migrate the endpoints into 'staff'.
+
+    Cost: one re-auth (+register refresh) per endpoint, at its own edge.
+    """
+    baseline = _message_baseline(fabric)
+    for endpoint in members[source_group]:
+        fabric.move_endpoint_group(endpoint, "staff")
+    fabric.settle(max_time=120.0)
+    return _message_cost(fabric, baseline)
+
+
+def strategy_edit_matrix(fabric, groups, source_group, seed=44):
+    """Acquisition handling B: grant the old group staff-equivalent access.
+
+    Cost: one rule edit per (source_group -> other) pair, each pushed to
+    every edge hosting the destination group.
+    """
+    baseline = _message_baseline(fabric)
+    # Before distributing, SXP must know which edges host which groups.
+    _sync_sxp_peer_groups(fabric)
+    for other in groups + ["staff"]:
+        if other == source_group:
+            continue
+        fabric.allow(source_group, other, symmetric=True)
+    fabric.settle(max_time=120.0)
+    return _message_cost(fabric, baseline)
+
+
+def _sync_sxp_peer_groups(fabric):
+    for edge in fabric.edges:
+        fabric.sxp.set_peer_groups(edge.rloc, edge.vrf.groups_present())
+
+
+def run_comparison(shapes=None, seed=41):
+    """Both strategies across group shapes; returns comparison rows.
+
+    ``shapes`` is a list of (num_groups, endpoints_per_group) with the
+    total population held roughly constant.
+    """
+    if shapes is None:
+        shapes = [(2, 24), (4, 12), (8, 6), (16, 3)]
+    rows = []
+    for num_groups, endpoints_per_group in shapes:
+        fabric_a, groups_a, members_a = _build(6, num_groups,
+                                               endpoints_per_group, seed=seed)
+        move_cost = strategy_move_endpoints(fabric_a, members_a, groups_a[0])
+
+        fabric_b, groups_b, _members_b = _build(6, num_groups,
+                                                endpoints_per_group, seed=seed)
+        edit_cost = strategy_edit_matrix(fabric_b, groups_b, groups_b[0])
+
+        rows.append({
+            "num_groups": num_groups,
+            "endpoints_per_group": endpoints_per_group,
+            "move_endpoints_msgs": move_cost,
+            "edit_matrix_msgs": edit_cost,
+            "move_wins": move_cost < edit_cost,
+        })
+    return rows

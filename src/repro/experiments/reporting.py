@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table; values are str()-ed."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(divider)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_boxplot_row(label, stats):
+    """One boxplot as a table row (fig. 7 style)."""
+    return [
+        label,
+        "%.3f" % stats.whisker_low,
+        "%.3f" % stats.q1,
+        "%.3f" % stats.median,
+        "%.3f" % stats.q3,
+        "%.3f" % stats.whisker_high,
+    ]
+
+
+def format_cdf(points, label, max_rows=20):
+    """Render CDF points as two columns."""
+    lines = ["CDF: %s" % label, "value      fraction"]
+    step = max(1, len(points) // max_rows)
+    for index in range(0, len(points), step):
+        value, fraction = points[index]
+        lines.append("%-10.4g %.3f" % (value, fraction))
+    if (len(points) - 1) % step != 0:
+        value, fraction = points[-1]
+        lines.append("%-10.4g %.3f" % (value, fraction))
+    return "\n".join(lines)
+
+
+def format_series(series, label, value_format="%.1f", max_rows=30):
+    """Render a TimeSeries as (hour, value) rows (fig. 9 style)."""
+    pairs = series.resample_hourly()
+    lines = ["Series: %s (hour, value)" % label]
+    step = max(1, len(pairs) // max_rows)
+    for index in range(0, len(pairs), step):
+        hour, value = pairs[index]
+        lines.append(("%8.1f  " + value_format) % (hour, value))
+    return "\n".join(lines)

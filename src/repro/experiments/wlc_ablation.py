@@ -1,0 +1,157 @@
+"""Sec. 2 motivation ablation: centralized WLAN controller vs. SDA.
+
+The paper motivates the L3-overlay design by the failure modes of the
+traditional centralized model: "the gateway device becomes a bottleneck
+... it creates triangular routing because all L3 traffic is forced to go
+to the gateway and then back to the actual destination."
+
+This experiment runs the *same* station-to-station traffic through both
+data planes on the same topology and measures:
+
+* median delivery delay at increasing offered load — the WLC's single
+  processing queue saturates; SDA's distributed edges do not;
+* path stretch — WLC traffic always transits the controller node.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.wlc import AccessPointTunnel, WlanController
+from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.net.addresses import IPv4Address
+from repro.net.packet import make_udp_packet
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+from repro.stats.summaries import boxplot
+from repro.underlay.network import UnderlayNetwork
+from repro.underlay.topology import Topology
+
+VN = 600
+_NUM_APS = 6
+_PAIRS = 12
+
+
+def _measure_wlc(packets_per_second, duration_s=0.5, seed=51):
+    """Station pairs behind APs; all traffic hairpins through the WLC."""
+    sim = Simulator()
+    rng = SeededRng(seed)
+    topo, spines, leaves = Topology.two_tier(2, _NUM_APS)
+    underlay = UnderlayNetwork(sim, topo, extra_delay_jitter_s=10e-6, seed=seed)
+    controller = WlanController(
+        sim, underlay, rloc=IPv4Address.parse("192.168.255.20"),
+        node=spines[0], service_s=28e-6,
+    )
+    aps = [
+        AccessPointTunnel(sim, "ap-%d" % i, leaves[i], controller, underlay,
+                          IPv4Address(0xC0A80001 + i))
+        for i in range(_NUM_APS)
+    ]
+    delays = []
+    pairs = []
+    for index in range(_PAIRS):
+        src_ip = IPv4Address(0x0A000100 + index)
+        dst_ip = IPv4Address(0x0A000200 + index)
+        src_ap = aps[index % _NUM_APS]
+        dst_ap = aps[(index + 1) % _NUM_APS]
+        src_ap.attach_client(src_ip, lambda p, t: None)
+
+        def sink(packet, now, _=None):
+            sent = packet.meta.get("sent_at")
+            if sent is not None:
+                delays.append(now - sent)
+
+        dst_ap.attach_client(dst_ip, sink)
+        pairs.append((src_ap, src_ip, dst_ip))
+    sim.run()
+
+    per_pair_rate = packets_per_second / _PAIRS
+
+    def schedule_pair(src_ap, src_ip, dst_ip):
+        def tick():
+            packet = make_udp_packet(src_ip, dst_ip, 1, 2, size=800)
+            packet.meta["sent_at"] = sim.now
+            src_ap.inject_from_client(packet)
+            sim.schedule(rng.expovariate(per_pair_rate), tick)
+        sim.schedule(rng.expovariate(per_pair_rate), tick)
+
+    for src_ap, src_ip, dst_ip in pairs:
+        schedule_pair(src_ap, src_ip, dst_ip)
+    sim.run(until=duration_s)
+    return delays, controller
+
+
+def _measure_sda(packets_per_second, duration_s=0.5, seed=51):
+    """The same pairs on an SDA fabric: distributed edge data plane."""
+    net = FabricNetwork(FabricConfig(num_borders=1, num_edges=_NUM_APS,
+                                     seed=seed))
+    net.define_vn("wifi", VN, "10.0.0.0/15")
+    net.define_group("stations", 1, VN)
+    rng = SeededRng(seed)
+    delays = []
+
+    def sink(endpoint, packet, now):
+        sent = packet.meta.get("sent_at")
+        if sent is not None:
+            delays.append(now - sent)
+
+    pairs = []
+    for index in range(_PAIRS):
+        src = net.create_endpoint("src-%d" % index, "stations", VN)
+        dst = net.create_endpoint("dst-%d" % index, "stations", VN, sink=sink)
+        net.admit(src, index % _NUM_APS)
+        net.admit(dst, (index + 1) % _NUM_APS)
+        pairs.append((src, dst))
+    net.settle(max_time=120.0)
+
+    # Warm the map-caches so the comparison is steady-state data plane.
+    for src, dst in pairs:
+        net.send(src, dst)
+    net.settle()
+
+    sim = net.sim
+    per_pair_rate = packets_per_second / _PAIRS
+
+    def schedule_pair(src, dst):
+        def tick():
+            packet = make_udp_packet(src.ip, dst.ip, 1, 2, size=800)
+            packet.meta["sent_at"] = sim.now
+            src.send(packet)
+            sim.schedule(rng.expovariate(per_pair_rate), tick)
+        sim.schedule(rng.expovariate(per_pair_rate), tick)
+
+    end = sim.now + duration_s
+    for src, dst in pairs:
+        schedule_pair(src, dst)
+    sim.run(until=end)
+    return delays
+
+
+def run_bottleneck_sweep(rates=(2000, 12000, 36000), duration_s=0.4, seed=51):
+    """Median delivery delay vs offered load, both data planes.
+
+    Returns rows of dicts with ``wlc_median_s`` / ``sda_median_s``.
+    """
+    rows = []
+    for rate in rates:
+        wlc_delays, controller = _measure_wlc(rate, duration_s, seed)
+        sda_delays = _measure_sda(rate, duration_s, seed)
+        rows.append({
+            "rate_pps": rate,
+            "wlc_median_s": boxplot(wlc_delays).median,
+            "sda_median_s": boxplot(sda_delays).median,
+            "wlc_max_queue_s": controller.max_queue_delay_s,
+        })
+    return rows
+
+
+def run_path_stretch(seed=51):
+    """Triangular-routing stretch of the WLC data plane on this topology."""
+    sim = Simulator()
+    topo, spines, leaves = Topology.two_tier(2, _NUM_APS)
+    underlay = UnderlayNetwork(sim, topo, seed=seed)
+    # Controller deliberately placed off the direct path (its own leaf),
+    # the common case for an appliance in a datacenter block.
+    controller = WlanController(
+        sim, underlay, rloc=IPv4Address.parse("192.168.255.20"),
+        node=leaves[-1],
+    )
+    return controller.path_stretch(leaves[0], leaves[1])

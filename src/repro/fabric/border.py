@@ -1,0 +1,156 @@
+"""The SDA border router.
+
+Same functions as an edge with two differences (sec. 3.3):
+
+* its FIB is **synchronized** with the routing server via pub/sub — it
+  does not resolve reactively, so it can absorb traffic for destinations
+  edges have not resolved yet (the default-route design of sec. 3.2.2);
+* it holds routes to external networks (Internet, data center) and is the
+  fabric's exit.
+
+The border is deliberately "more powerful" in the paper; here that shows
+up as the FIB occupancy the fig. 9 experiment counts on the border side.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.lisp.messages import (
+    PublishUpdate,
+    SolicitMapRequest,
+    SubscribeRequest,
+    control_packet,
+)
+from repro.lisp.records import MappingDatabase
+from repro.net.packet import UdpHeader
+from repro.net.trie import PatriciaTrie
+from repro.net.vxlan import VXLAN_PORT, decapsulate, encapsulate
+from repro.policy.acl import GroupAcl
+
+
+class BorderRouterCounters:
+    def __init__(self):
+        self.packets_in = 0
+        self.relayed_to_edge = 0
+        self.sent_external = 0
+        self.no_route_drops = 0
+        self.ttl_drops = 0
+        self.policy_drops = 0
+        self.publishes_received = 0
+
+
+class BorderRouter:
+    """Pubsub-synced fabric border with external routes."""
+
+    def __init__(self, sim, name, rloc, node, underlay, routing_server_rloc,
+                 external_sink=None):
+        self.sim = sim
+        self.name = name
+        self.rloc = rloc
+        self.node = node
+        self.underlay = underlay
+        self.routing_server_rloc = routing_server_rloc
+        #: callable (vn, packet) for traffic leaving the fabric
+        self.external_sink = external_sink
+        #: synchronized copy of the routing server's mappings
+        self.synced = MappingDatabase()
+        self._external = {}     # vn int -> PatriciaTrie of external prefixes
+        self.acl = GroupAcl()
+        self.counters = BorderRouterCounters()
+        underlay.attach(rloc, node, self._on_packet)
+
+    def subscribe(self):
+        """Subscribe to all route updates (call once after control plane up)."""
+        message = SubscribeRequest(self.rloc)
+        self.underlay.send(
+            self.rloc, self.routing_server_rloc,
+            control_packet(self.rloc, self.routing_server_rloc, message),
+        )
+
+    # -- external routes -----------------------------------------------------------
+    def add_external_route(self, vn, prefix, label="internet"):
+        trie = self._external.get(int(vn))
+        if trie is None:
+            trie = PatriciaTrie(prefix.family)
+            self._external[int(vn)] = trie
+        trie.insert(prefix, label)
+
+    def external_route_for(self, vn, address):
+        trie = self._external.get(int(vn))
+        if trie is None:
+            return None
+        hit = trie.lookup_longest(address)
+        return hit[1] if hit else None
+
+    # -- data plane ---------------------------------------------------------------------
+    def _on_packet(self, packet):
+        udp = packet.find(UdpHeader)
+        if udp is not None and udp.dst_port == VXLAN_PORT:
+            self._handle_data(packet)
+        else:
+            self._handle_control(packet.payload)
+
+    def _handle_data(self, packet):
+        self.counters.packets_in += 1
+        vxlan = decapsulate(packet)
+        vn, src_group = vxlan.vni, vxlan.group
+        inner = packet.inner_ip()
+        if inner is None:
+            self.counters.no_route_drops += 1
+            return
+        dst = inner.dst
+        record = self.synced.lookup(vn, dst)
+        if record is not None and record.rloc != self.rloc:
+            if inner.ttl <= 1:
+                self.counters.ttl_drops += 1
+                return
+            inner.ttl -= 1
+            self.counters.relayed_to_edge += 1
+            encapsulate(packet, self.rloc, record.rloc, vn, src_group)
+            self.underlay.send(self.rloc, record.rloc, packet)
+            return
+        label = self.external_route_for(vn, dst)
+        if label is not None:
+            self.counters.sent_external += 1
+            if self.external_sink is not None:
+                self.external_sink(vn, packet)
+            return
+        self.counters.no_route_drops += 1
+
+    def inject_external(self, vn, group, packet):
+        """Return traffic entering the fabric from outside (Internet side).
+
+        The border classifies it (``group`` would come from an SXP binding
+        in a deployment), then forwards like any fabric-bound packet.
+        """
+        inner = packet.inner_ip()
+        if inner is None:
+            raise ConfigurationError("external injection needs an IP packet")
+        record = self.synced.lookup(vn, inner.dst)
+        if record is None or record.rloc == self.rloc:
+            self.counters.no_route_drops += 1
+            return False
+        self.counters.relayed_to_edge += 1
+        encapsulate(packet, self.rloc, record.rloc, vn, group)
+        self.underlay.send(self.rloc, record.rloc, packet)
+        return True
+
+    # -- control plane --------------------------------------------------------------------
+    def _handle_control(self, message):
+        if message.kind == PublishUpdate.kind:
+            self.counters.publishes_received += 1
+            if message.record is None:
+                self.synced.unregister(message.vn, message.eid)
+            else:
+                self.synced.register(message.record)
+        elif message.kind == SolicitMapRequest.kind:
+            # Border keeps a synced table; SMRs carry no new information.
+            pass
+
+    # -- metrics ------------------------------------------------------------------------------
+    def fib_occupancy(self, family="ipv4"):
+        """Synced mappings held right now (fig. 9's border-side metric)."""
+        return self.synced.count(family=family)
+
+    def __repr__(self):
+        return "BorderRouter(%s, synced=%d)" % (self.name, len(self.synced))

@@ -1,0 +1,583 @@
+"""The SDA edge router.
+
+Implements the four edge functions of sec. 3.3:
+
+1. encapsulate/decapsulate endpoint traffic (VXLAN-GPO);
+2. inter-VN isolation via VRFs populated by LISP;
+3. roaming detection + location registration;
+4. group-permission enforcement (egress by default; ingress available
+   for the sec. 5.3 ablation).
+
+Plus the lessons-learned machinery: default route to the border during
+resolution (sec. 3.2.2), underlay reachability tracking with fallback
+(sec. 5.1), reboot behaviour (sec. 5.2), and data-triggered SMRs for
+stale-mapping refresh (fig. 6).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.lisp.mapcache import MapCache
+from repro.lisp.messages import (
+    MapNotify,
+    MapRegister,
+    MapReply,
+    MapRequest,
+    MapUnregister,
+    SolicitMapRequest,
+    control_packet,
+)
+from repro.net.packet import IpHeader, UdpHeader
+from repro.net.vxlan import VXLAN_PORT, decapsulate, encapsulate
+from repro.policy.acl import GroupAcl
+from repro.policy.server import AccessRequest, AccessResult
+from repro.fabric.vrf import LocalEndpointEntry, VrfTable
+
+#: Enforcement point selection (sec. 5.3 trade-off).
+ENFORCE_EGRESS = "egress"
+ENFORCE_INGRESS = "ingress"
+
+#: Local port-to-endpoint delivery delay (switching latency).
+PORT_DELAY_S = 20e-6
+
+
+class EdgeRouterCounters:
+    """Per-edge data/control plane statistics."""
+
+    def __init__(self):
+        self.packets_in = 0
+        self.packets_out = 0
+        self.local_deliveries = 0
+        self.encapsulated = 0
+        self.to_border_default = 0
+        self.policy_drops = 0
+        self.ingress_policy_drops = 0
+        self.ttl_drops = 0
+        self.stale_deliveries = 0
+        self.reforwarded = 0
+        self.smr_sent = 0
+        self.smr_received = 0
+        self.map_requests_sent = 0
+        self.map_registers_sent = 0
+        self.notifies_received = 0
+        self.auth_requests_sent = 0
+        self.unreachable_fallbacks = 0
+        self.map_request_retries_sent = 0
+        self.map_request_timeouts = 0
+        self.miss_drops = 0
+
+
+class EdgeRouter:
+    """One fabric edge: pipelines, map-cache, VRFs, onboarding, mobility."""
+
+    def __init__(self, sim, name, rloc, node, underlay,
+                 routing_server_rloc, policy_server_rloc, border_rloc,
+                 dhcp=None, enforcement=ENFORCE_EGRESS,
+                 map_cache_ttl=1200.0, negative_ttl=15.0,
+                 detection_delay_s=2e-3, watch_underlay=True,
+                 register_families=("ipv4", "ipv6", "mac"),
+                 register_rlocs=None,
+                 map_request_timeout_s=1.0, map_request_retries=2,
+                 default_route_to_border=True):
+        self.sim = sim
+        self.name = name
+        self.rloc = rloc
+        self.node = node
+        self.underlay = underlay
+        self.routing_server_rloc = routing_server_rloc
+        self.policy_server_rloc = policy_server_rloc
+        self.border_rloc = border_rloc
+        self.dhcp = dhcp
+        if enforcement not in (ENFORCE_EGRESS, ENFORCE_INGRESS):
+            raise ConfigurationError("unknown enforcement point %r" % enforcement)
+        self.enforcement = enforcement
+        #: time for the edge to detect a newly attached endpoint
+        self.detection_delay_s = detection_delay_s
+        #: which EID families to register (warehouse runs register IPv4
+        #: only, matching the paper's two-queries-per-move accounting)
+        self.register_families = tuple(register_families)
+        #: where Map-Registers go.  With horizontally scaled routing
+        #: servers (sec. 4.1), requests go to this edge's assigned server
+        #: (``routing_server_rloc``) while "route updates [are performed]
+        #: on all servers" — so registrations fan out to every server.
+        self.register_rlocs = (
+            tuple(register_rlocs) if register_rlocs else (routing_server_rloc,)
+        )
+        #: reactive resolution robustness: resend an unanswered
+        #: Map-Request after this long, up to ``map_request_retries``
+        #: times.  Retries alternate across the known routing servers,
+        #: giving failover when the control plane is clustered.
+        self.map_request_timeout_s = map_request_timeout_s
+        self.map_request_retries = map_request_retries
+        #: the sec. 3.2.2 design decision: forward unresolved traffic to
+        #: the border.  Disabling it (for the ablation) makes the edge
+        #: drop on miss, exposing the raw initial-connection loss a
+        #: reactive protocol would otherwise have.
+        self.default_route_to_border = default_route_to_border
+
+        self.vrf = VrfTable()
+        self.map_cache = MapCache(sim, default_ttl=map_cache_ttl, negative_ttl=negative_ttl)
+        self.acl = GroupAcl()
+        self.counters = EdgeRouterCounters()
+        self.l2_gateway = None    # set by repro.fabric.l2 when L2 services are on
+
+        self.rebooting = False
+        self._ports = {}          # port -> endpoint
+        self._next_port = 1
+        self._pending_auth = {}   # nonce -> (endpoint, port, roaming, callback)
+        self._pending_resolution = {}  # (vn int, eid) -> count of packets since request
+
+        underlay.attach(rloc, node, self._on_packet)
+        if watch_underlay and underlay.igp is not None:
+            underlay.subscribe_reachability(node, self._on_reachability)
+
+    # ------------------------------------------------------------------ attachment
+    def allocate_port(self):
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def attach_endpoint(self, endpoint, port=None, on_complete=None):
+        """Begin host onboarding (fig. 3) for a newly connected endpoint.
+
+        The flow is asynchronous: detection delay, then Access-Request to
+        the policy server, then (on accept) DHCP + VRF install +
+        Map-Register.  ``on_complete(endpoint, accepted)`` fires at the
+        end.  A roaming endpoint (one that already has an IP) keeps it —
+        L3 mobility — and its registration is flagged ``mobility=True``.
+        """
+        if self.rebooting:
+            raise ConfigurationError("%s is rebooting" % self.name)
+        if port is None:
+            port = self.allocate_port()
+        if port in self._ports:
+            raise ConfigurationError("port %d on %s already in use" % (port, self.name))
+        self._ports[port] = endpoint
+        endpoint.edge = self
+        endpoint.port = port
+        roaming = endpoint.onboarded
+        self.sim.schedule(
+            self.detection_delay_s, self._start_auth, endpoint, port, roaming, on_complete
+        )
+
+    def _start_auth(self, endpoint, port, roaming, on_complete):
+        if self._ports.get(port) is not endpoint:
+            return  # endpoint left before detection completed
+        request = AccessRequest(endpoint.identity, endpoint.secret,
+                                reply_to=self.rloc, enforcement=self.enforcement)
+        self._pending_auth[request.nonce] = ("attach", endpoint, port, roaming, on_complete)
+        self.counters.auth_requests_sent += 1
+        self._send_control(self.policy_server_rloc, request)
+
+    def reauthenticate(self, endpoint, on_complete=None):
+        """Re-run authentication for an attached endpoint.
+
+        This is the egress-enforcement refresh of sec. 5.3: when endpoint
+        data changes (e.g. a group reassignment), re-auth updates the
+        (Overlay IP, GroupId) pair in the VRF and downloads the new rule
+        rows — no extra signaling mechanism needed.
+        """
+        if self.vrf.lookup_identity(endpoint.identity) is None:
+            raise ConfigurationError(
+                "%s: cannot re-auth %s (not attached)" % (self.name, endpoint.identity)
+            )
+        request = AccessRequest(endpoint.identity, endpoint.secret,
+                                reply_to=self.rloc, enforcement=self.enforcement)
+        self._pending_auth[request.nonce] = ("reauth", endpoint, None, None, on_complete)
+        self.counters.auth_requests_sent += 1
+        self._send_control(self.policy_server_rloc, request)
+
+    def _finish_auth(self, result):
+        pending = self._pending_auth.pop(result.nonce, None)
+        if pending is None:
+            return
+        mode, endpoint, port, roaming, on_complete = pending
+        if mode == "reauth":
+            self._finish_reauth(endpoint, result, on_complete)
+            return
+        if self._ports.get(port) is not endpoint:
+            return  # roamed away mid-auth
+        if not result.accepted:
+            del self._ports[port]
+            endpoint.edge = None
+            endpoint.port = None
+            if on_complete is not None:
+                on_complete(endpoint, False)
+            return
+        endpoint.vn = result.vn
+        endpoint.group = result.group
+        if not roaming:
+            if self.dhcp is not None:
+                endpoint.ip, endpoint.ipv6 = self.dhcp.lease(result.vn, endpoint.identity)
+            elif endpoint.ip is None:
+                raise ConfigurationError(
+                    "endpoint %s has no IP and edge %s has no DHCP"
+                    % (endpoint.identity, self.name)
+                )
+        entry = LocalEndpointEntry(
+            endpoint, result.vn, result.group, port,
+            endpoint.ip, ipv6=endpoint.ipv6, mac=endpoint.mac,
+        )
+        self.vrf.add(entry)
+        # Egress enforcement: install the rules for this destination group.
+        self.acl.program(result.rules)
+        self._register_endpoint(endpoint, roaming)
+        if on_complete is not None:
+            on_complete(endpoint, True)
+
+    def _finish_reauth(self, endpoint, result, on_complete):
+        if not result.accepted:
+            # A now-rejected endpoint is cut off.
+            self.detach_endpoint(endpoint, deregister=True)
+            if on_complete is not None:
+                on_complete(endpoint, False)
+            return
+        old_group = endpoint.group
+        endpoint.group = result.group
+        self.vrf.update_group(endpoint.identity, result.group)
+        self.acl.program(result.rules)
+        if old_group is not None and int(old_group) != int(result.group):
+            # The registration's stored group is refreshed too.
+            self._register_endpoint(endpoint, roaming=False)
+        if on_complete is not None:
+            on_complete(endpoint, True)
+
+    def _register_endpoint(self, endpoint, roaming):
+        """Map-Register all three EIDs (IPv4, IPv6, MAC) — sec. 4.1.
+
+        IP registrations carry the endpoint MAC so the routing server can
+        answer ARP-style IP-to-MAC lookups (sec. 3.5).
+        """
+        for eid in self._endpoint_eids(endpoint):
+            if eid.family not in self.register_families:
+                continue
+            for server_rloc in self.register_rlocs:
+                register = MapRegister(
+                    endpoint.vn, eid, self.rloc, endpoint.group,
+                    mac=endpoint.mac if eid.family != "mac" else None,
+                    mobility=roaming,
+                )
+                self.counters.map_registers_sent += 1
+                self._send_control(server_rloc, register)
+
+    def detach_endpoint(self, endpoint, deregister=False):
+        """Endpoint left this edge (roam-away or shutdown).
+
+        Mobility does *not* deregister: the new edge's register supersedes
+        ours and triggers the Map-Notify redirect.  Explicit departure
+        (user leaves the office) passes ``deregister=True``.
+        """
+        if endpoint.port is not None:
+            self._ports.pop(endpoint.port, None)
+        self.vrf.remove(endpoint.identity)
+        if endpoint.edge is self:
+            endpoint.edge = None
+            endpoint.port = None
+        if deregister and endpoint.onboarded:
+            for eid in self._endpoint_eids(endpoint):
+                if eid.family not in self.register_families:
+                    continue
+                for server_rloc in self.register_rlocs:
+                    self._send_control(
+                        server_rloc,
+                        MapUnregister(endpoint.vn, eid, self.rloc),
+                    )
+
+    @staticmethod
+    def _endpoint_eids(endpoint):
+        eids = [endpoint.ip.to_prefix()]
+        if endpoint.ipv6 is not None:
+            eids.append(endpoint.ipv6.to_prefix())
+        if endpoint.mac is not None:
+            eids.append(endpoint.mac.to_prefix())
+        return eids
+
+    # ------------------------------------------------------------------ ingress pipeline
+    def inject_from_endpoint(self, endpoint, packet):
+        """Entry point for endpoint traffic (fig. 4 ingress pipeline)."""
+        if self.rebooting:
+            return
+        entry = self.vrf.lookup_identity(endpoint.identity)
+        if entry is None:
+            return  # not onboarded yet; a real switch floods to auth VLAN
+        self.counters.packets_in += 1
+        self._forward_overlay(entry.vn, entry.group, packet)
+
+    def _forward_overlay(self, vn, src_group, packet):
+        inner = packet.inner_ip()
+        if inner is None:
+            return
+        dst = inner.dst
+
+        # Local destination: short-circuit through the egress stage.
+        local = self.vrf.lookup_ip(vn, dst)
+        if local is not None:
+            self._egress_deliver(vn, src_group, local, packet)
+            return
+
+        cache_entry = self.map_cache.lookup(vn, dst)
+        if cache_entry is not None and not cache_entry.negative:
+            # Ingress enforcement ablation: we know the destination group
+            # from the cached record, so policy can be applied here and
+            # denied traffic never crosses the underlay.
+            if self.enforcement == ENFORCE_INGRESS and cache_entry.group is not None:
+                if not self.acl.allows(src_group, cache_entry.group):
+                    self.counters.policy_drops += 1
+                    self.counters.ingress_policy_drops += 1
+                    return
+            target = cache_entry.rloc
+            if self.underlay.reachable(self.rloc, target):
+                self._encap_to(target, vn, src_group, packet,
+                               applied=self.enforcement == ENFORCE_INGRESS)
+                return
+            # Sec. 5.1: target RLOC unreachable in the underlay — delete
+            # the route and fall back to the border default.
+            self.map_cache.invalidate(vn, cache_entry.eid)
+            self.counters.unreachable_fallbacks += 1
+        elif cache_entry is None:
+            # Miss: trigger resolution; traffic keeps flowing via border.
+            self._resolve(vn, dst)
+
+        if not self.default_route_to_border:
+            # Ablation mode: no fallback — the packet is lost while the
+            # mapping resolves (the "initial packet loss" of sec. 3.2.2).
+            self.counters.miss_drops += 1
+            return
+        # Default route to border (covers miss, negative and fallback).
+        self.counters.to_border_default += 1
+        self._encap_to(self.border_rloc, vn, src_group, packet, applied=False)
+
+    def _resolve(self, vn, dst):
+        key = (int(vn), dst)
+        if key in self._pending_resolution:
+            self._pending_resolution[key] += 1
+            return
+        self._pending_resolution[key] = 1
+        self._send_map_request(vn, dst, attempt=0)
+
+    def _send_map_request(self, vn, dst, attempt):
+        request = MapRequest(vn, dst.to_prefix(), reply_to=self.rloc)
+        self.counters.map_requests_sent += 1
+        # Attempt 0 goes to this edge's assigned server; retries walk the
+        # server list (failover in clustered control planes).
+        servers = (self.routing_server_rloc,) + tuple(
+            rloc for rloc in self.register_rlocs
+            if rloc != self.routing_server_rloc
+        )
+        target = servers[attempt % len(servers)]
+        self._send_control(target, request)
+        self.sim.schedule(self.map_request_timeout_s,
+                          self._check_resolution, vn, dst, attempt)
+
+    def _check_resolution(self, vn, dst, attempt):
+        key = (int(vn), dst)
+        if key not in self._pending_resolution or self.rebooting:
+            return  # answered (or state reset) in the meantime
+        if attempt >= self.map_request_retries:
+            # Give up; the next data packet restarts resolution.  Traffic
+            # kept flowing via the border default route throughout.
+            del self._pending_resolution[key]
+            self.counters.map_request_timeouts += 1
+            return
+        self.counters.map_request_retries_sent += 1
+        self._send_map_request(vn, dst, attempt + 1)
+
+    def _encap_to(self, target_rloc, vn, src_group, packet, applied=False):
+        encapsulate(packet, self.rloc, target_rloc, vn, src_group)
+        vxlan = packet.headers[2]
+        vxlan.policy_applied = applied
+        self.counters.encapsulated += 1
+        self.counters.packets_out += 1
+        self.underlay.send(self.rloc, target_rloc, packet)
+
+    # ------------------------------------------------------------------ egress pipeline
+    def _on_packet(self, packet):
+        if self.rebooting:
+            return
+        udp = packet.find(UdpHeader)
+        if udp is not None and udp.dst_port == VXLAN_PORT:
+            self._handle_data(packet)
+        else:
+            self._handle_control(packet.payload, packet)
+
+    def _handle_data(self, packet):
+        outer_src = packet.outer().src
+        vxlan = decapsulate(packet)
+        vn, src_group = vxlan.vni, vxlan.group
+        inner = packet.inner_ip()
+        if inner is None:
+            self._handle_l2_frame(vn, src_group, packet, outer_src)
+            return
+        dst = inner.dst
+        local = self.vrf.lookup_ip(vn, dst)
+        if local is not None:
+            self._egress_deliver(vn, src_group, local, packet,
+                                 policy_applied=vxlan.policy_applied)
+            return
+        # Stale delivery: the endpoint is not here (it moved, or we
+        # rebooted and lost our state).  Fig. 6: tell the sender to
+        # refresh, and forward the packet towards the new location.
+        self.counters.stale_deliveries += 1
+        if outer_src != self.border_rloc:
+            self.counters.smr_sent += 1
+            self._send_control(outer_src, SolicitMapRequest(vn, dst.to_prefix()))
+        if inner.ttl <= 1:
+            self.counters.ttl_drops += 1
+            return
+        inner.ttl -= 1
+        cache_entry = self.map_cache.lookup(vn, dst)
+        if cache_entry is not None and not cache_entry.negative \
+                and cache_entry.rloc != self.rloc \
+                and self.underlay.reachable(self.rloc, cache_entry.rloc):
+            self.counters.reforwarded += 1
+            self._encap_to(cache_entry.rloc, vn, src_group, packet)
+            return
+        # No better information: default route (sec. 5.2's transient loop
+        # arises exactly here when the border still points at us).
+        if cache_entry is None:
+            self._resolve(vn, dst)
+        self.counters.to_border_default += 1
+        self._encap_to(self.border_rloc, vn, src_group, packet)
+
+    def _handle_l2_frame(self, vn, src_group, packet, outer_src):
+        """Non-IP payloads (L2 service frames) go to the L2 gateway."""
+        if self.l2_gateway is not None:
+            self.l2_gateway.handle_overlay_frame(vn, src_group, packet, outer_src)
+
+    def _egress_deliver(self, vn, src_group, local, packet, policy_applied=False):
+        """Second egress stage (fig. 4): group ACL, then the access port.
+
+        The check is skipped only when the VXLAN-GPO "policy applied" bit
+        says an upstream device (ingress-enforcement mode) already ran it.
+        """
+        if not policy_applied:
+            if not self.acl.allows(src_group, local.group):
+                self.counters.policy_drops += 1
+                return
+        self.counters.local_deliveries += 1
+        endpoint = local.endpoint
+        self.sim.schedule(PORT_DELAY_S, self._deliver, endpoint, packet)
+
+    def _deliver(self, endpoint, packet):
+        if endpoint.edge is self:
+            endpoint.receive(packet, self.sim.now)
+
+    # ------------------------------------------------------------------ control plane
+    def _handle_control(self, message, packet):
+        kind = message.kind
+        if kind == MapReply.kind:
+            self._handle_map_reply(message)
+        elif kind == MapNotify.kind:
+            self._handle_map_notify(message)
+        elif kind == SolicitMapRequest.kind:
+            self._handle_smr(message)
+        elif kind == AccessResult.kind:
+            self._finish_auth(message)
+        elif kind == "sxp-update":
+            self._handle_sxp(message)
+        # Unknown kinds are ignored (forward compatibility).
+
+    def _handle_map_reply(self, reply):
+        # Clear pending-resolution markers covered by this reply.
+        resolved = [
+            key for key in self._pending_resolution
+            if key[0] == int(reply.vn)
+            and key[1].family == reply.eid.family
+            and reply.eid.contains(key[1])
+        ]
+        for key in resolved:
+            del self._pending_resolution[key]
+        if reply.is_negative:
+            self.map_cache.install_negative(reply.vn, reply.eid, ttl=reply.negative_ttl)
+            if self.l2_gateway is not None:
+                self.l2_gateway.on_map_reply(reply)
+            return
+        record = reply.record
+        # Cache lifetime: the server's advisory TTL capped by this edge's
+        # own cache policy (the knob the FIB-state experiments turn).
+        ttl = min(record.ttl, self.map_cache.default_ttl)
+        self.map_cache.install(
+            reply.vn, record.eid, record.rloc,
+            group=record.group, version=record.version, ttl=ttl,
+            mac=record.mac,
+        )
+        if self.l2_gateway is not None:
+            self.l2_gateway.on_map_reply(reply)
+
+    def _handle_map_notify(self, notify):
+        """Fig. 5 steps 2-3: pull the roamed endpoint's new location."""
+        self.counters.notifies_received += 1
+        record = notify.record
+        # The endpoint may still be in our VRF if the move raced detection.
+        entry = self.vrf.lookup_ip(notify.vn, record.eid.address)
+        if entry is not None and record.rloc != self.rloc:
+            self.vrf.remove(entry.endpoint.identity)
+        if record.rloc != self.rloc:
+            ttl = min(record.ttl, self.map_cache.default_ttl)
+            self.map_cache.install(
+                notify.vn, record.eid, record.rloc,
+                group=record.group, version=record.version, ttl=ttl,
+                mac=record.mac,
+            )
+
+    def _handle_smr(self, smr):
+        """Fig. 6 step 4: drop the stale mapping and re-resolve."""
+        self.counters.smr_received += 1
+        self.map_cache.invalidate(smr.vn, smr.eid)
+        self._resolve(smr.vn, smr.eid.address)
+
+    def _handle_sxp(self, update):
+        if update.rule is not None:
+            self.acl.program([update.rule])
+
+    def _send_control(self, dst_rloc, message):
+        self.underlay.send(
+            self.rloc, dst_rloc, control_packet(self.rloc, dst_rloc, message)
+        )
+
+    # ------------------------------------------------------------------ underlay events
+    def _on_reachability(self, rloc, reachable):
+        """Sec. 5.1: IGP says an RLOC went away — delete routes to it."""
+        if reachable or rloc == self.rloc:
+            return
+        removed = self.map_cache.invalidate_rloc(rloc)
+        if removed:
+            self.counters.unreachable_fallbacks += removed
+
+    # ------------------------------------------------------------------ reboot (sec. 5.2)
+    def reboot(self, duration_s=30.0, silent_in_igp=True):
+        """Reboot: lose all overlay state; optionally go silent in the IGP.
+
+        ``silent_in_igp=False`` disables the first mitigation of sec. 5.2
+        so tests can demonstrate the transient loop it prevents.
+        """
+        self.rebooting = True
+        self.map_cache = MapCache(
+            self.sim, default_ttl=self.map_cache.default_ttl,
+            negative_ttl=self.map_cache.negative_ttl,
+        )
+        self.vrf = VrfTable()
+        self._pending_resolution = {}
+        self._pending_auth = {}
+        self._ports = {}
+        if silent_in_igp:
+            self.underlay.set_announced(self.rloc, False)
+        self.sim.schedule(duration_s, self._reboot_done, silent_in_igp)
+
+    def _reboot_done(self, was_silent):
+        self.rebooting = False
+        if was_silent:
+            self.underlay.set_announced(self.rloc, True)
+
+    # ------------------------------------------------------------------ metrics
+    def fib_occupancy(self, family="ipv4"):
+        """Overlay-to-underlay mappings held right now (fig. 9 metric)."""
+        return self.map_cache.occupancy(family=family)
+
+    def local_endpoint_count(self):
+        return len(self.vrf)
+
+    def __repr__(self):
+        return "EdgeRouter(%s, rloc=%s, endpoints=%d, cache=%d)" % (
+            self.name, self.rloc, len(self.vrf), self.map_cache.occupancy()
+        )

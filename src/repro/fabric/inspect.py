@@ -1,0 +1,122 @@
+"""Operational state inspection — the fabric's ``show`` commands.
+
+Network operators live in ``show`` output; these helpers render the same
+views a real SDA deployment exposes (and what the paper's authors scraped
+hourly from the router CLI for fig. 9):
+
+* ``show_map_cache(edge)``        — the reactive overlay FIB;
+* ``show_vrf(edge)``              — locally attached endpoints;
+* ``show_group_acl(router)``      — programmed group rules + hit counts;
+* ``show_routing_server(server)`` — registered mappings + server stats;
+* ``show_border(border)``         — synced FIB and externals;
+* ``show_fabric(net)``            — one-screen deployment summary.
+
+All functions return strings (join of aligned rows) so they compose with
+logging, tests and notebooks alike.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+
+
+def show_map_cache(edge):
+    """The edge's overlay FIB (fig. 9's per-edge data source)."""
+    rows = []
+    for entry in sorted(edge.map_cache.entries(include_negative=True),
+                        key=lambda e: (int(e.vn), str(e.eid))):
+        rows.append([
+            int(entry.vn), str(entry.eid),
+            "negative" if entry.negative else str(entry.rloc),
+            "-" if entry.group is None else int(entry.group),
+            "%.1f" % max(0.0, entry.expires_at - edge.sim.now),
+        ])
+    return format_table(
+        ["VN", "EID", "RLOC", "group", "TTL(s)"], rows,
+        title="%s map-cache (%d live entries)" % (edge.name, len(edge.map_cache)),
+    )
+
+
+def show_vrf(edge):
+    """Locally attached endpoints per VN (the egress stage-1 table)."""
+    rows = []
+    for entry in sorted(edge.vrf.entries(), key=lambda e: (int(e.vn), str(e.ip))):
+        rows.append([
+            int(entry.vn), str(entry.ip),
+            str(entry.mac) if entry.mac else "-",
+            int(entry.group), int(entry.port),
+            entry.endpoint.identity,
+        ])
+    return format_table(
+        ["VN", "IP", "MAC", "group", "port", "identity"], rows,
+        title="%s VRF (%d endpoints)" % (edge.name, len(edge.vrf)),
+    )
+
+
+def show_group_acl(router):
+    """Programmed group rules with their hit ledger (fig. 12's source)."""
+    acl = router.acl
+    rows = []
+    for (src, dst), action in acl.rules_snapshot():
+        rows.append([src, dst, action, acl.rule_hits.get((src, dst), 0)])
+    name = getattr(router, "name", "router")
+    title = "%s group ACL (%d rules, %d hits, %d drops, %.3f permille)" % (
+        name, len(acl), acl.hits, acl.drops, acl.drop_permille)
+    return format_table(["src group", "dst group", "action", "hits"], rows,
+                        title=title)
+
+
+def show_routing_server(server):
+    """Registered mappings + the stats the fig. 7 evaluation reads."""
+    rows = []
+    for record in sorted(server.database.records(),
+                         key=lambda r: (int(r.vn), r.eid.family, str(r.eid))):
+        rows.append([
+            int(record.vn), record.eid.family, str(record.eid),
+            str(record.rloc),
+            "-" if record.group is None else int(record.group),
+            record.version,
+        ])
+    stats = server.stats.as_dict()
+    title = ("routing server (%d mappings; req=%d reg=%d mob=%d notify=%d "
+             "neg=%d pub=%d)" % (
+                 server.route_count, stats["requests"], stats["registers"],
+                 stats["mobility_registers"], stats["notifies_sent"],
+                 stats["negative_replies"], stats["publishes_sent"]))
+    return format_table(["VN", "family", "EID", "RLOC", "group", "ver"],
+                        rows, title=title)
+
+
+def show_border(border):
+    """The border's synced FIB summary and counters."""
+    lines = [
+        "%s: synced mappings=%d (ipv4=%d ipv6=%d mac=%d)" % (
+            border.name, len(border.synced),
+            border.synced.count(family="ipv4"),
+            border.synced.count(family="ipv6"),
+            border.synced.count(family="mac"),
+        ),
+        "  relayed-to-edge=%d external=%d no-route=%d publishes=%d" % (
+            border.counters.relayed_to_edge, border.counters.sent_external,
+            border.counters.no_route_drops, border.counters.publishes_received,
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def show_fabric(net):
+    """One-screen deployment summary (table-3 style + live state)."""
+    rows = []
+    for border in net.borders:
+        rows.append([border.name, "border", border.fib_occupancy("ipv4"),
+                     "-", border.counters.relayed_to_edge])
+    for edge in net.edges:
+        rows.append([edge.name, "edge", edge.fib_occupancy("ipv4"),
+                     edge.local_endpoint_count(), edge.counters.packets_out])
+    summary = format_table(
+        ["device", "role", "FIB(v4)", "endpoints", "pkts out"], rows,
+        title="fabric: %d borders, %d edges, %d routing server(s), %d endpoints"
+        % (len(net.borders), len(net.edges), len(net.routing_servers),
+           len(net.endpoints())),
+    )
+    return summary

@@ -1,0 +1,314 @@
+"""FabricNetwork: one object assembling the whole SDA deployment.
+
+Builds, in dependency order: topology -> IGP -> underlay delivery network
+-> routing server -> policy server (+ SXP) -> border routers -> edge
+routers -> DHCP, then exposes operator verbs (define VNs/groups/rules,
+enroll endpoints) and runtime verbs (admit, roam, send).
+
+This is the object the examples and experiments drive; its defaults match
+the paper's campus deployments (table 4): 1-2 borders, 6-7 edges, 10 Gbps
+border-edge links.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import VNId
+from repro.fabric.border import BorderRouter
+from repro.fabric.dhcp import DhcpServer
+from repro.fabric.edge import ENFORCE_EGRESS, EdgeRouter
+from repro.fabric.endpoint import Endpoint
+from repro.fabric.l2 import L2Gateway
+from repro.net.addresses import IPv4Address, MacAddress, Prefix
+from repro.net.packet import make_udp_packet
+from repro.lisp.mapserver import RoutingServer
+from repro.policy.groups import SegmentationPlan
+from repro.policy.server import PolicyServer
+from repro.policy.sxp import SxpSpeaker
+from repro.sim.simulator import Simulator
+from repro.underlay.linkstate import IgpDomain
+from repro.underlay.network import UnderlayNetwork
+from repro.underlay.topology import Topology
+
+
+class FabricConfig:
+    """Knobs for building a fabric (paper-calibrated defaults)."""
+
+    def __init__(self, num_borders=1, num_edges=7,
+                 num_routing_servers=1,
+                 enforcement=ENFORCE_EGRESS,
+                 map_cache_ttl=1200.0, negative_ttl=15.0,
+                 edge_detection_delay_s=2e-3,
+                 link_delay_s=50e-6, link_bandwidth_bps=10e9,
+                 use_igp=True, l2_services=False,
+                 underlay_jitter_s=20e-6,
+                 register_families=("ipv4", "ipv6", "mac"), seed=42):
+        if num_borders < 1:
+            raise ConfigurationError("a fabric needs at least one border")
+        if num_edges < 1:
+            raise ConfigurationError("a fabric needs at least one edge")
+        if num_routing_servers < 1:
+            raise ConfigurationError("a fabric needs at least one routing server")
+        self.num_borders = num_borders
+        self.num_edges = num_edges
+        self.num_routing_servers = num_routing_servers
+        self.enforcement = enforcement
+        self.map_cache_ttl = map_cache_ttl
+        self.negative_ttl = negative_ttl
+        self.edge_detection_delay_s = edge_detection_delay_s
+        self.link_delay_s = link_delay_s
+        self.link_bandwidth_bps = link_bandwidth_bps
+        self.use_igp = use_igp
+        self.l2_services = l2_services
+        self.underlay_jitter_s = underlay_jitter_s
+        self.register_families = tuple(register_families)
+        self.seed = seed
+
+
+#: RLOC numbering plan: infra services, borders and edges live in 192.168/16.
+_RLOC_SERVER = "192.168.255.1"
+_RLOC_POLICY = "192.168.255.2"
+_RLOC_BORDER_BASE = 0xC0A8FE00   # 192.168.254.0/24 for borders
+_RLOC_EDGE_BASE = 0xC0A80000     # 192.168.0.0/17 for edges
+
+
+class FabricNetwork:
+    """A complete SDA fabric over a simulated underlay."""
+
+    def __init__(self, config=None, sim=None):
+        self.config = config or FabricConfig()
+        self.sim = sim or Simulator()
+        cfg = self.config
+
+        # Underlay: spine-leaf; borders ride their own spine-side nodes.
+        self.topology, self._spines, self._leaves = Topology.two_tier(
+            num_spines=max(2, cfg.num_borders),
+            num_leaves=cfg.num_edges,
+            delay_s=cfg.link_delay_s,
+            bandwidth_bps=cfg.link_bandwidth_bps,
+        )
+        self.igp = None
+        if cfg.use_igp:
+            self.igp = IgpDomain(self.sim, self.topology)
+            for node in self.topology.nodes():
+                self.igp.add_router(node)
+            self.igp.start()
+        self.underlay = UnderlayNetwork(
+            self.sim, self.topology, igp=self.igp,
+            extra_delay_jitter_s=cfg.underlay_jitter_s, seed=cfg.seed,
+        )
+
+        # Control plane servers sit off spine-0 (their own node keeps the
+        # model honest about server-side network hops).  More than one
+        # routing server implements the sec. 4.1 horizontal scaling:
+        # edges are grouped and pointed at different servers for requests,
+        # while registrations go to all servers.
+        base_server_rloc = int(IPv4Address.parse(_RLOC_SERVER))
+        self.routing_servers = [
+            RoutingServer(
+                self.sim, self.underlay,
+                rloc=IPv4Address(base_server_rloc + 8 * index),
+                node=self._spines[index % len(self._spines)],
+                seed=cfg.seed + 1 + index,
+            )
+            for index in range(cfg.num_routing_servers)
+        ]
+        self.routing_server = self.routing_servers[0]
+        self.plan = SegmentationPlan()
+        self.policy_server = PolicyServer(
+            self.sim, self.plan, underlay=self.underlay,
+            rloc=IPv4Address.parse(_RLOC_POLICY), node=self._spines[0],
+            seed=cfg.seed + 2,
+        )
+        self.sxp = SxpSpeaker(self.sim, underlay=self.underlay,
+                              rloc=self.policy_server.rloc)
+        self.policy_server.on_matrix_change(self.sxp.distribute_rule)
+        self.policy_server.on_group_change(self._on_group_change)
+        self.policy_server.on_session(self._on_session)
+
+        self.dhcp = DhcpServer()
+
+        # Data plane devices.
+        self.borders = []
+        for i in range(cfg.num_borders):
+            rloc = IPv4Address(_RLOC_BORDER_BASE + 1 + i)
+            server = self.routing_servers[i % len(self.routing_servers)]
+            border = BorderRouter(
+                self.sim, "border-%d" % i, rloc, self._spines[i],
+                self.underlay, server.rloc,
+            )
+            self.borders.append(border)
+
+        self.edges = []
+        for i in range(cfg.num_edges):
+            rloc = IPv4Address(_RLOC_EDGE_BASE + 1 + i)
+            edge = EdgeRouter(
+                self.sim, "edge-%d" % i, rloc, self._leaves[i],
+                self.underlay,
+                routing_server_rloc=self.routing_servers[
+                    i % len(self.routing_servers)].rloc,
+                register_rlocs=[s.rloc for s in self.routing_servers],
+                policy_server_rloc=self.policy_server.rloc,
+                border_rloc=self.borders[i % cfg.num_borders].rloc,
+                dhcp=self.dhcp,
+                enforcement=cfg.enforcement,
+                map_cache_ttl=cfg.map_cache_ttl,
+                negative_ttl=cfg.negative_ttl,
+                detection_delay_s=cfg.edge_detection_delay_s,
+                register_families=cfg.register_families,
+            )
+            if cfg.l2_services:
+                L2Gateway(edge)
+            self.sxp.add_peer(edge.rloc)
+            self.edges.append(edge)
+
+        self._endpoints = {}
+        self._mac_counter = 0x02_00_00_00_00_00   # locally administered
+
+        # Bring the control plane up: IGP convergence + border pubsub.
+        self.settle()
+        for border in self.borders:
+            border.subscribe()
+        self.settle()
+
+    # ------------------------------------------------------------------ operator verbs
+    def define_vn(self, name, vn_id, prefix):
+        """Create a VN with its overlay DHCP pool and default external route."""
+        vn = self.plan.add_vn(vn_id, name)
+        self.dhcp.add_pool(vn.vn_id, prefix)
+        default = Prefix(IPv4Address(0), 0)
+        for border in self.borders:
+            border.add_external_route(vn.vn_id, default, label="internet")
+        return vn
+
+    def define_group(self, name, group_id, vn_id):
+        return self.plan.add_group(group_id, name, vn_id)
+
+    def allow(self, src_group, dst_group, symmetric=True):
+        """Whitelist a group pair in the connectivity matrix."""
+        a = self.plan.group_by_name(src_group) if isinstance(src_group, str) else None
+        b = self.plan.group_by_name(dst_group) if isinstance(dst_group, str) else None
+        src = a.group_id if a is not None else src_group
+        dst = b.group_id if b is not None else dst_group
+        self.policy_server.set_rule(src, dst, "allow")
+        if symmetric:
+            self.policy_server.set_rule(dst, src, "allow")
+
+    def deny(self, src_group, dst_group, symmetric=True):
+        a = self.plan.group_by_name(src_group) if isinstance(src_group, str) else None
+        b = self.plan.group_by_name(dst_group) if isinstance(dst_group, str) else None
+        src = a.group_id if a is not None else src_group
+        dst = b.group_id if b is not None else dst_group
+        self.policy_server.set_rule(src, dst, "deny")
+        if symmetric:
+            self.policy_server.set_rule(dst, src, "deny")
+
+    def create_endpoint(self, identity, group, vn, secret="secret", sink=None):
+        """Enroll an endpoint identity and mint its device object."""
+        if identity in self._endpoints:
+            raise ConfigurationError("duplicate endpoint identity %r" % identity)
+        group_obj = self.plan.group_by_name(group) if isinstance(group, str) else self.plan.group(group)
+        vn_id = vn if isinstance(vn, VNId) else VNId(vn)
+        self.policy_server.enroll(identity, secret, group_obj.group_id, vn_id)
+        self._mac_counter += 1
+        endpoint = Endpoint(identity, MacAddress(self._mac_counter), secret=secret, sink=sink)
+        self._endpoints[identity] = endpoint
+        return endpoint
+
+    def endpoint(self, identity):
+        try:
+            return self._endpoints[identity]
+        except KeyError:
+            raise ConfigurationError("unknown endpoint %r" % identity)
+
+    def endpoints(self):
+        return list(self._endpoints.values())
+
+    # ------------------------------------------------------------------ runtime verbs
+    def admit(self, endpoint, edge, port=None, on_complete=None):
+        """Attach an endpoint to an edge and run onboarding (fig. 3)."""
+        if isinstance(edge, int):
+            edge = self.edges[edge]
+        edge.attach_endpoint(endpoint, port=port, on_complete=on_complete)
+
+    def roam(self, endpoint, new_edge, on_complete=None):
+        """Move an endpoint to a new edge (fig. 5 mobility event)."""
+        if isinstance(new_edge, int):
+            new_edge = self.edges[new_edge]
+        old_edge = endpoint.edge
+        if old_edge is new_edge:
+            return
+        if old_edge is not None:
+            old_edge.detach_endpoint(endpoint)
+        new_edge.attach_endpoint(endpoint, on_complete=on_complete)
+
+    def depart(self, endpoint):
+        """Endpoint leaves the network entirely (deregisters)."""
+        if endpoint.edge is not None:
+            endpoint.edge.detach_endpoint(endpoint, deregister=True)
+
+    def send(self, src_endpoint, dst, size=1500, payload=None):
+        """Inject one overlay packet from an endpoint towards ``dst``.
+
+        ``dst`` may be an Endpoint (uses its overlay IP) or an address.
+        """
+        dst_ip = dst.ip if isinstance(dst, Endpoint) else dst
+        if src_endpoint.ip is None:
+            raise ConfigurationError(
+                "endpoint %s not onboarded yet" % src_endpoint.identity
+            )
+        packet = make_udp_packet(src_endpoint.ip, dst_ip, 40000, 40000,
+                                 payload=payload, size=size)
+        src_endpoint.send(packet)
+        return packet
+
+    # ------------------------------------------------------------------ policy change plumbing
+    def _on_session(self, identity, edge_rloc, group):
+        """Every successful auth refreshes SXP's view of which destination
+        groups the authenticating edge hosts — that is how later matrix
+        edits reach exactly the edges that need them."""
+        self.sxp.set_peer_groups(edge_rloc, self.policy_server.groups_at(edge_rloc))
+
+    def _on_group_change(self, identity, old_group, new_group):
+        """Sec. 5.4: a group move triggers re-auth at the hosting edge only."""
+        endpoint = self._endpoints.get(identity)
+        if endpoint is None or endpoint.edge is None:
+            return
+        endpoint.edge.reauthenticate(endpoint)
+
+    def move_endpoint_group(self, endpoint, new_group):
+        group_obj = (
+            self.plan.group_by_name(new_group) if isinstance(new_group, str)
+            else self.plan.group(new_group)
+        )
+        return self.policy_server.reassign_group(endpoint.identity, group_obj.group_id)
+
+    # ------------------------------------------------------------------ simulation control
+    def settle(self, max_time=60.0):
+        """Run until the event queue drains (bounded by ``max_time``)."""
+        deadline = self.sim.now + max_time
+        while self.sim.pending:
+            if self.sim.now >= deadline:
+                break
+            self.sim.run(until=min(deadline, self.sim.now + 1.0))
+
+    def run_for(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+    # ------------------------------------------------------------------ metrics
+    def fib_snapshot(self, family="ipv4"):
+        """Current FIB occupancy of every router (fig. 9's data point)."""
+        snapshot = {"border": {}, "edge": {}}
+        for border in self.borders:
+            snapshot["border"][border.name] = border.fib_occupancy(family)
+        for edge in self.edges:
+            snapshot["edge"][edge.name] = edge.fib_occupancy(family)
+        return snapshot
+
+    def total_policy_drops(self):
+        return sum(edge.counters.policy_drops for edge in self.edges)
+
+    def __repr__(self):
+        return "FabricNetwork(borders=%d, edges=%d, endpoints=%d)" % (
+            len(self.borders), len(self.edges), len(self._endpoints)
+        )

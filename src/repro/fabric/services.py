@@ -1,0 +1,134 @@
+"""Service insertion: middlebox chains with group rewriting (sec. 5.4).
+
+The paper's second policy-update example: "it is common that traffic has
+to go through middleboxes, e.g. a firewall or a WAN optimizer ... instead
+of applying different policies across the path for the same group, they
+change the group along the way so that different policies are applied
+across this same path."
+
+This module models that pattern with fabric-native pieces:
+
+* a :class:`Middlebox` is an onboarded endpoint with its *own* group; it
+  receives traffic, applies a verdict function, and re-emits the packet
+  towards the next hop.  Because the re-emitted traffic carries the
+  middlebox's group (assigned by its own onboarding), each chain segment
+  is policed by a *different* row of the connectivity matrix — the group
+  rewrite of the paper, realized through ordinary onboarding state.
+* a :class:`ServiceChain` wires a sequence of middleboxes between a
+  source group and a destination group, installing exactly the matrix
+  rows each segment needs, so the direct path stays closed.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.net.packet import make_udp_packet
+
+
+class Middlebox:
+    """A service function (firewall, WAN optimizer) on the fabric.
+
+    Parameters
+    ----------
+    fabric / name / group / vn:
+        Where and what to onboard.  The group is the middlebox's own —
+        this is the "changed group along the way".
+    verdict:
+        Callable ``(packet) -> bool``; False drops the packet here
+        (firewall behaviour).  Default passes everything.
+    """
+
+    def __init__(self, fabric, name, group, vn, edge, verdict=None):
+        self.fabric = fabric
+        self.name = name
+        self.verdict = verdict or (lambda packet: True)
+        self.next_hop_ip = None     # set by the chain
+        self.forwarded = 0
+        self.dropped = 0
+        self.endpoint = fabric.create_endpoint(name, group, vn,
+                                               sink=self._on_packet)
+        fabric.admit(self.endpoint, edge)
+
+    def _on_packet(self, endpoint, packet, now):
+        if self.next_hop_ip is None:
+            return
+        if not self.verdict(packet):
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        forwarded = make_udp_packet(
+            endpoint.ip, self.next_hop_ip, 40000, 40000,
+            payload=packet.payload, size=packet.size,
+        )
+        forwarded.meta["service_final_dst"] = packet.meta.get("service_final_dst")
+        forwarded.meta.update(
+            (k, v) for k, v in packet.meta.items() if k.startswith("sent")
+        )
+        endpoint.send(forwarded)
+
+
+class ServiceChain:
+    """A source-group -> middleboxes -> destination-group service path.
+
+    Build with the fabric's group *names*; the chain creates one group
+    per middlebox position, onboards the middleboxes, and opens exactly
+    the per-segment matrix rows:
+
+        src -> mb1, mb1 -> mb2, ..., mbN -> dst
+
+    The direct ``src -> dst`` cell is left untouched (typically deny),
+    which is the whole point: traffic only flows if it takes the chain.
+    """
+
+    def __init__(self, fabric, name, vn, src_group, dst_group,
+                 middlebox_specs, base_group_id=0x7000):
+        if not middlebox_specs:
+            raise ConfigurationError("a service chain needs middleboxes")
+        self.fabric = fabric
+        self.name = name
+        self.vn = vn
+        self.middleboxes = []
+        previous_group = src_group
+        for index, spec in enumerate(middlebox_specs):
+            group_name = "%s-stage%d" % (name, index)
+            fabric.define_group(group_name, base_group_id + index, vn)
+            middlebox = Middlebox(
+                fabric, "%s-mb%d" % (name, index), group_name, vn,
+                edge=spec.get("edge", 0), verdict=spec.get("verdict"),
+            )
+            self.middleboxes.append(middlebox)
+            # Open the segment: previous stage -> this middlebox.
+            fabric.allow(previous_group, group_name, symmetric=False)
+            previous_group = group_name
+        # Final segment: last middlebox -> destination group.
+        fabric.allow(previous_group, dst_group, symmetric=False)
+        fabric.settle()
+
+    def entry_ip(self):
+        """Where sources address their traffic (the first middlebox)."""
+        return self.middleboxes[0].endpoint.ip
+
+    def wire(self, final_destination_ip):
+        """Point each stage at the next; the last stage at the real dst."""
+        for index, middlebox in enumerate(self.middleboxes):
+            if index + 1 < len(self.middleboxes):
+                middlebox.next_hop_ip = self.middleboxes[index + 1].endpoint.ip
+            else:
+                middlebox.next_hop_ip = final_destination_ip
+
+    def send_through(self, src_endpoint, dst_endpoint, size=800):
+        """Send one packet from src through the chain to dst."""
+        self.wire(dst_endpoint.ip)
+        packet = make_udp_packet(src_endpoint.ip, self.entry_ip(),
+                                 40000, 40000, size=size)
+        packet.meta["service_final_dst"] = dst_endpoint.ip
+        src_endpoint.send(packet)
+        return packet
+
+    @property
+    def total_forwarded(self):
+        return sum(mb.forwarded for mb in self.middleboxes)
+
+    @property
+    def total_dropped(self):
+        return sum(mb.dropped for mb in self.middleboxes)

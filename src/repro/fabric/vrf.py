@@ -1,0 +1,137 @@
+"""VRF tables: per-VN local endpoint state on a fabric router.
+
+The egress pipeline's first stage (fig. 4): a lookup of (VN + overlay
+destination IP) in the VRF for the packet's VNI, returning the output
+port *and* the destination endpoint's GroupId.  The (Overlay IP, GroupId)
+association is written at onboarding and — because it is refreshed by the
+authentication process whenever endpoint data changes — is always current,
+which is the property that makes egress enforcement signaling-free
+(sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.net.addresses import Prefix
+from repro.net.trie import PatriciaTrie
+
+
+class LocalEndpointEntry:
+    """One locally attached endpoint in a VRF."""
+
+    __slots__ = ("endpoint", "vn", "group", "port", "ip", "ipv6", "mac", "vlan")
+
+    def __init__(self, endpoint, vn, group, port, ip, ipv6=None, mac=None, vlan=None):
+        self.endpoint = endpoint
+        self.vn = vn
+        self.group = group
+        self.port = port
+        self.ip = ip
+        self.ipv6 = ipv6
+        self.mac = mac
+        self.vlan = vlan
+
+    def __repr__(self):
+        return "LocalEndpointEntry(%s, vn=%d, group=%d, port=%d)" % (
+            self.ip, int(self.vn), int(self.group), int(self.port)
+        )
+
+
+class VrfTable:
+    """Per-VN tables of locally attached endpoints, indexed three ways.
+
+    IPv4 and IPv6 lookups use Patricia tries (longest-prefix match, though
+    entries are host routes); MAC lookup is a dict (exact match semantics
+    of an L2 FIB).
+    """
+
+    def __init__(self):
+        self._v4 = {}    # vn int -> PatriciaTrie
+        self._v6 = {}
+        self._mac = {}   # vn int -> {mac -> entry}
+        self._by_identity = {}
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def _trie_for(self, vn, family, create=False):
+        store = self._v4 if family == "ipv4" else self._v6
+        key = int(vn)
+        trie = store.get(key)
+        if trie is None and create:
+            trie = PatriciaTrie(family)
+            store[key] = trie
+        return trie
+
+    def add(self, entry):
+        """Install a local endpoint (onboarding step)."""
+        identity = entry.endpoint.identity
+        if identity in self._by_identity:
+            raise ConfigurationError("endpoint %s already in VRF" % identity)
+        self._trie_for(entry.vn, "ipv4", create=True).insert(
+            entry.ip.to_prefix(), entry
+        )
+        if entry.ipv6 is not None:
+            self._trie_for(entry.vn, "ipv6", create=True).insert(
+                entry.ipv6.to_prefix(), entry
+            )
+        if entry.mac is not None:
+            self._mac.setdefault(int(entry.vn), {})[entry.mac] = entry
+        self._by_identity[identity] = entry
+        self._count += 1
+        return entry
+
+    def remove(self, identity):
+        """Remove a local endpoint (departure/roam-away); returns entry."""
+        entry = self._by_identity.pop(identity, None)
+        if entry is None:
+            return None
+        trie = self._trie_for(entry.vn, "ipv4")
+        if trie is not None:
+            trie.delete(entry.ip.to_prefix())
+        if entry.ipv6 is not None:
+            trie6 = self._trie_for(entry.vn, "ipv6")
+            if trie6 is not None:
+                trie6.delete(entry.ipv6.to_prefix())
+        if entry.mac is not None:
+            self._mac.get(int(entry.vn), {}).pop(entry.mac, None)
+        self._count -= 1
+        return entry
+
+    def lookup_ip(self, vn, address):
+        """(VN + overlay dst IP) -> local entry or ``None`` (fig. 4)."""
+        family = address.family
+        trie = self._trie_for(vn, family)
+        if trie is None:
+            return None
+        key = address.to_prefix() if not isinstance(address, Prefix) else address
+        hit = trie.lookup_longest(key)
+        return hit[1] if hit else None
+
+    def lookup_mac(self, vn, mac):
+        return self._mac.get(int(vn), {}).get(mac)
+
+    def lookup_identity(self, identity):
+        return self._by_identity.get(identity)
+
+    def entries(self, vn=None):
+        for entry in self._by_identity.values():
+            if vn is None or int(entry.vn) == int(vn):
+                yield entry
+
+    def groups_present(self):
+        """Distinct GroupIds of attached endpoints.
+
+        This is the set the edge reports to SXP (which rule rows it
+        needs) — egress enforcement state is bounded by it.
+        """
+        return {int(entry.group) for entry in self._by_identity.values()}
+
+    def update_group(self, identity, new_group):
+        """Refresh the (Overlay IP, GroupId) association after re-auth."""
+        entry = self._by_identity.get(identity)
+        if entry is None:
+            return None
+        entry.group = new_group
+        return entry

@@ -1,0 +1,58 @@
+"""LISP control plane: the SDA routing server and its clients.
+
+The paper uses the LISP control plane (sec. 3.2.2) as the fabric's
+reactive routing protocol:
+
+* **Map-Register** — an edge router updates the location (RLOC) of an
+  overlay EID after onboarding or a mobility event.
+* **Map-Request / Map-Reply** — an edge router resolves the RLOC for a
+  destination EID on demand, driven by traffic.
+* **Map-Notify** — the routing server tells the *previous* edge router
+  about a move so it can pull the new location and redirect in-flight
+  traffic (fig. 5).
+* **Solicit-Map-Request (SMR)** — the data-triggered message an old edge
+  sends to a traffic source still using a stale mapping (fig. 6).
+* **Publish/Subscribe** — border routers subscribe to all route updates so
+  their FIB mirrors the routing server (draft-ietf-lisp-pubsub; sec. 3.3
+  "their FIB table is synchronized with the routing server").
+
+The server models processing with a single FIFO queue whose per-message
+service time depends on the *key width* (Patricia trie depth), not the
+occupancy — the property measured in fig. 7a/7b — so response delay grows
+with offered load (fig. 7c) but not with table size.
+"""
+
+from repro.lisp.messages import (
+    LISP_PORT,
+    MapRegister,
+    MapUnregister,
+    MapRequest,
+    MapReply,
+    MapNotify,
+    SolicitMapRequest,
+    SubscribeRequest,
+    PublishUpdate,
+    control_packet,
+)
+from repro.lisp.records import MappingRecord, MappingDatabase
+from repro.lisp.mapserver import RoutingServer, RoutingServerStats
+from repro.lisp.mapcache import MapCache, MapCacheEntry
+
+__all__ = [
+    "LISP_PORT",
+    "MapRegister",
+    "MapUnregister",
+    "MapRequest",
+    "MapReply",
+    "MapNotify",
+    "SolicitMapRequest",
+    "SubscribeRequest",
+    "PublishUpdate",
+    "control_packet",
+    "MappingRecord",
+    "MappingDatabase",
+    "RoutingServer",
+    "RoutingServerStats",
+    "MapCache",
+    "MapCacheEntry",
+]

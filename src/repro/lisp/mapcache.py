@@ -1,0 +1,206 @@
+"""The edge router's map-cache: reactively learned EID-to-RLOC state.
+
+This *is* the edge router's overlay FIB: the number of live entries here
+is what fig. 9 / table 5 count on edge routers.  Entries appear on demand
+(Map-Reply), expire by TTL, and are invalidated by SMRs and Map-Notifies.
+
+Negative entries cache "no such destination" replies with a short TTL —
+the mechanism the paper invokes to explain nighttime FIB shrinkage in
+building B (sec. 4.2: a resolution "with a negative result ... thereby
+deleting that FIB entry").
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.net.addresses import Prefix
+from repro.net.trie import PatriciaTrie
+
+
+class MapCacheEntry:
+    """One cached mapping (positive or negative)."""
+
+    __slots__ = ("vn", "eid", "rloc", "group", "mac", "version", "expires_at",
+                 "negative", "last_used")
+
+    def __init__(self, vn, eid, rloc, group, version, expires_at, negative=False,
+                 mac=None, last_used=0.0):
+        self.vn = vn
+        self.eid = eid
+        self.rloc = rloc
+        self.group = group
+        self.mac = mac
+        self.version = version
+        self.expires_at = expires_at
+        self.negative = negative
+        self.last_used = last_used
+
+    def __repr__(self):
+        if self.negative:
+            return "MapCacheEntry(vn=%d, %s, NEGATIVE)" % (int(self.vn), self.eid)
+        return "MapCacheEntry(vn=%d, %s -> %s)" % (int(self.vn), self.eid, self.rloc)
+
+
+class MapCache:
+    """TTL-bound reactive cache keyed by (VN, EID prefix).
+
+    Expiry is lazy (checked on access) plus a sweep hook the owner calls
+    periodically — the same pattern real data planes use, and it keeps the
+    event queue free of per-entry timers at 16k-endpoint scale.
+    """
+
+    def __init__(self, sim, default_ttl=1200.0, negative_ttl=15.0):
+        self.sim = sim
+        self.default_ttl = default_ttl
+        self.negative_ttl = negative_ttl
+        self._tries = {}   # (vn int, family) -> PatriciaTrie of MapCacheEntry
+        self._count = 0
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        """Live (unexpired) positive entries — the FIB occupancy metric."""
+        now = self.sim.now
+        total = 0
+        for trie in self._tries.values():
+            for _prefix, entry in trie.items():
+                if not entry.negative and entry.expires_at > now:
+                    total += 1
+        return total
+
+    def _trie(self, vn, family, create=False):
+        key = (int(vn), family)
+        trie = self._tries.get(key)
+        if trie is None and create:
+            trie = PatriciaTrie(family)
+            self._tries[key] = trie
+        return trie
+
+    # -- population ----------------------------------------------------------------------
+    def install(self, vn, eid, rloc, group=None, version=1, ttl=None, mac=None):
+        """Install a positive mapping learned from a Map-Reply or Notify.
+
+        Stale versions (lower than what is cached) are ignored, so an
+        out-of-order reply cannot overwrite a newer mobility update.
+        Returns True if the entry was installed.
+        """
+        if not isinstance(eid, Prefix):
+            raise ConfigurationError("map-cache EID must be a Prefix")
+        trie = self._trie(vn, eid.family, create=True)
+        existing = trie.lookup_exact(eid)
+        if existing is not None and not existing.negative and existing.version > version:
+            return False
+        expires = self.sim.now + (self.default_ttl if ttl is None else ttl)
+        entry = MapCacheEntry(vn, eid, rloc, group, version, expires, mac=mac,
+                              last_used=self.sim.now)
+        trie.insert(eid, entry)
+        return True
+
+    def install_negative(self, vn, eid, ttl=None):
+        """Cache a negative reply (destination unknown)."""
+        trie = self._trie(vn, eid.family, create=True)
+        expires = self.sim.now + (self.negative_ttl if ttl is None else ttl)
+        entry = MapCacheEntry(vn, eid, None, None, 0, expires, negative=True,
+                              last_used=self.sim.now)
+        trie.insert(eid, entry)
+
+    # -- lookup ---------------------------------------------------------------------------
+    def lookup(self, vn, address):
+        """Longest-prefix match; returns a live entry or ``None``.
+
+        Expired entries encountered on the path are deleted.  Negative
+        entries are returned (callers check ``entry.negative``) so the
+        data plane can distinguish "miss, resolve it" from "known absent,
+        use default route without re-querying".
+        """
+        key = address.to_prefix() if not isinstance(address, Prefix) else address
+        trie = self._trie(vn, key.family)
+        if trie is None:
+            self.misses += 1
+            return None
+        hit = trie.lookup_longest(key)
+        if hit is None:
+            self.misses += 1
+            return None
+        prefix, entry = hit
+        if entry.expires_at <= self.sim.now:
+            trie.delete(prefix)
+            self.expirations += 1
+            self.misses += 1
+            return None
+        entry.last_used = self.sim.now
+        self.hits += 1
+        return entry
+
+    def invalidate(self, vn, eid):
+        """Drop the exact entry (SMR handling); returns True if present."""
+        trie = self._trie(vn, eid.family)
+        if trie is None:
+            return False
+        if trie.delete(eid):
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_rloc(self, rloc):
+        """Drop every entry pointing at an RLOC (underlay outage, sec. 5.1).
+
+        Returns the number of entries removed.
+        """
+        removed = 0
+        for trie in self._tries.values():
+            victims = [
+                prefix for prefix, entry in trie.items()
+                if not entry.negative and entry.rloc == rloc
+            ]
+            for prefix in victims:
+                trie.delete(prefix)
+                removed += 1
+        self.invalidations += removed
+        return removed
+
+    def sweep(self):
+        """Remove every expired entry; returns how many were dropped.
+
+        Called periodically by the owning router (and by the FIB samplers
+        before counting, mirroring how the paper's CLI collection read
+        current state).
+        """
+        now = self.sim.now
+        removed = 0
+        for trie in self._tries.values():
+            victims = [
+                prefix for prefix, entry in trie.items() if entry.expires_at <= now
+            ]
+            for prefix in victims:
+                trie.delete(prefix)
+                removed += 1
+        self.expirations += removed
+        return removed
+
+    def entries(self, include_negative=False):
+        """Yield live entries (positive only unless asked otherwise)."""
+        now = self.sim.now
+        for trie in self._tries.values():
+            for _prefix, entry in trie.items():
+                if entry.expires_at <= now:
+                    continue
+                if entry.negative and not include_negative:
+                    continue
+                yield entry
+
+    def occupancy(self, family=None, vn=None):
+        """Count live positive entries, optionally per family/VN."""
+        now = self.sim.now
+        total = 0
+        for (trie_vn, trie_family), trie in self._tries.items():
+            if family is not None and trie_family != family:
+                continue
+            if vn is not None and trie_vn != int(vn):
+                continue
+            for _prefix, entry in trie.items():
+                if not entry.negative and entry.expires_at > now:
+                    total += 1
+        return total

@@ -1,0 +1,220 @@
+"""The SDA routing server (LISP map-server + map-resolver + pubsub).
+
+Responsibilities (paper sec. 3.2.2):
+
+* keep endpoint location state — pairs of (VN + overlay EID) -> underlay
+  RLOC — in a :class:`MappingDatabase` (Patricia tries);
+* answer Map-Requests reactively;
+* accept Map-Registers, and on a *mobility* re-register, notify the
+  previous edge router so it can redirect in-flight traffic (fig. 5);
+* push every change to pub/sub subscribers (the border routers).
+
+Performance model
+-----------------
+The server processes messages through a single FIFO queue.  Per-message
+service time is::
+
+    service = base + per_bit * key_bits + jitter
+
+``key_bits`` is the trie key width (32/48/128) — *not* a function of how
+many routes are installed.  This reproduces the fig. 7a/7b observation
+(flat delay vs. #routes: Patricia trie depth bounds the work) while giving
+the fig. 7c behaviour (delay grows with queries/s as the queue builds).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.lisp.messages import (
+    MapNotify,
+    MapRegister,
+    MapReply,
+    MapRequest,
+    MapUnregister,
+    PublishUpdate,
+    SolicitMapRequest,
+    SubscribeRequest,
+    control_packet,
+)
+from repro.lisp.records import MappingDatabase, MappingRecord
+from repro.sim.rng import SeededRng
+
+
+class RoutingServerStats:
+    """Counters exposed for the experiments."""
+
+    def __init__(self):
+        self.requests = 0
+        self.registers = 0
+        self.mobility_registers = 0
+        self.unregisters = 0
+        self.negative_replies = 0
+        self.notifies_sent = 0
+        self.publishes_sent = 0
+        self.max_queue_depth = 0
+
+    def as_dict(self):
+        return {
+            "requests": self.requests,
+            "registers": self.registers,
+            "mobility_registers": self.mobility_registers,
+            "unregisters": self.unregisters,
+            "negative_replies": self.negative_replies,
+            "notifies_sent": self.notifies_sent,
+            "publishes_sent": self.publishes_sent,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class RoutingServer:
+    """The centralized routing server, attached to the underlay as a device.
+
+    Parameters
+    ----------
+    sim / underlay:
+        Simulation kernel and the underlay to attach to.  ``underlay`` may
+        be ``None`` for direct benchmarking of the database/service model
+        (fig. 7 uses :meth:`service_time` and :meth:`handle_message`
+        through a synthetic driver).
+    rloc / node:
+        The server's underlay address and attachment point.
+    base_service_s / per_bit_service_s / service_jitter_s:
+        The service time model; defaults calibrated so a lone request
+        takes ~200 microseconds, matching the order of magnitude of a
+        software map-server, though only *relative* delays are reported.
+    """
+
+    def __init__(self, sim, underlay=None, rloc=None, node=None,
+                 base_service_s=300e-6, per_bit_service_s=1.5e-6,
+                 service_jitter_s=30e-6, seed=11):
+        self.sim = sim
+        self.underlay = underlay
+        self.rloc = rloc
+        self.database = MappingDatabase()
+        self.stats = RoutingServerStats()
+        self.base_service_s = base_service_s
+        self.per_bit_service_s = per_bit_service_s
+        self.service_jitter_s = service_jitter_s
+        self._rng = SeededRng(seed)
+        self._busy_until = 0.0
+        self._queue_depth = 0
+        self._subscribers = {}   # rloc -> vn filter (None = all)
+        #: optional hook ``(message, finish_time)`` fired after processing;
+        #: the fig. 7 driver uses it to measure per-message response delay.
+        self.on_processed = None
+        if underlay is not None:
+            if rloc is None or node is None:
+                raise ConfigurationError("attached server needs rloc and node")
+            underlay.attach(rloc, node, self._on_packet)
+
+    # -- service model -------------------------------------------------------------
+    def service_time(self, message):
+        """Service time for one message; independent of table occupancy."""
+        key_bits = 32
+        eid = getattr(message, "eid", None)
+        if eid is not None:
+            key_bits = eid.bits
+        jitter = self._rng.uniform(0, self.service_jitter_s)
+        return self.base_service_s + self.per_bit_service_s * key_bits + jitter
+
+    def _enqueue(self, message, completion):
+        """FIFO queue: compute when this message's processing finishes."""
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        finish = start + self.service_time(message)
+        self._busy_until = finish
+        self._queue_depth += 1
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue_depth)
+        self.sim.schedule(finish - now, self._complete, message, completion)
+
+    def _complete(self, message, completion):
+        self._queue_depth -= 1
+        completion(message)
+        if self.on_processed is not None:
+            self.on_processed(message, self.sim.now)
+
+    # -- transport ---------------------------------------------------------------------
+    def _on_packet(self, packet):
+        message = packet.payload
+        self.handle_message(message)
+
+    def handle_message(self, message):
+        """Entry point for all control messages (queued, then dispatched)."""
+        handler = {
+            MapRequest.kind: self._process_request,
+            MapRegister.kind: self._process_register,
+            MapUnregister.kind: self._process_unregister,
+            SubscribeRequest.kind: self._process_subscribe,
+        }.get(message.kind)
+        if handler is None:
+            raise ConfigurationError("routing server got %r" % message.kind)
+        self._enqueue(message, handler)
+
+    def _send(self, dst_rloc, message):
+        if self.underlay is None or dst_rloc is None:
+            return
+        self.underlay.send(self.rloc, dst_rloc, control_packet(self.rloc, dst_rloc, message))
+
+    # -- message processing --------------------------------------------------------------
+    def _process_request(self, request):
+        self.stats.requests += 1
+        record = self.database.lookup(request.vn, request.eid)
+        reply_record = record.copy() if record is not None else None
+        if reply_record is None:
+            self.stats.negative_replies += 1
+        reply = MapReply(request.vn, request.eid, reply_record, nonce=request.nonce)
+        self._send(request.reply_to, reply)
+
+    def _process_register(self, register):
+        self.stats.registers += 1
+        eid = register.eid
+        record = MappingRecord(
+            register.vn, eid, register.rloc, group=register.group,
+            mac=register.mac,
+            registered_at=self.sim.now,
+            ttl=register.ttl,
+        )
+        previous = self.database.register(record)
+        moved = previous is not None and previous.rloc != register.rloc
+        if moved:
+            self.stats.mobility_registers += 1
+            # Fig. 5 step 2: tell the previous edge to pull the new
+            # location and redirect in-flight traffic.
+            self.stats.notifies_sent += 1
+            self._send(previous.rloc, MapNotify(register.vn, eid, record.copy()))
+        if previous is None or moved:
+            self._publish(register.vn, eid, record)
+
+    def _process_unregister(self, unregister):
+        self.stats.unregisters += 1
+        removed = self.database.unregister(unregister.vn, unregister.eid, unregister.rloc)
+        if removed is not None:
+            self._publish(unregister.vn, unregister.eid, None)
+
+    def _process_subscribe(self, subscribe):
+        self._subscribers[subscribe.subscriber_rloc] = subscribe.vn
+        # Initial full-state push so a late subscriber converges.
+        for record in list(self.database.records(vn=subscribe.vn)):
+            self.stats.publishes_sent += 1
+            self._send(
+                subscribe.subscriber_rloc,
+                PublishUpdate(record.vn, record.eid, record.copy()),
+            )
+
+    def _publish(self, vn, eid, record):
+        for subscriber_rloc, vn_filter in self._subscribers.items():
+            if vn_filter is not None and int(vn_filter) != int(vn):
+                continue
+            self.stats.publishes_sent += 1
+            payload = record.copy() if record is not None else None
+            self._send(subscriber_rloc, PublishUpdate(vn, eid, payload))
+
+    # -- direct API (setup & benchmarks) --------------------------------------------------
+    def preload(self, records):
+        """Install mappings without simulation (experiment setup)."""
+        for record in records:
+            self.database.register(record)
+
+    @property
+    def route_count(self):
+        return len(self.database)

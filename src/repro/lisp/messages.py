@@ -1,0 +1,202 @@
+"""LISP control plane message types.
+
+Messages travel through the underlay as the payload of small UDP packets
+(port 4342, like real LISP).  They are plain value objects; the wire
+format is not byte-serialized because no experiment depends on LISP bit
+layout (unlike VXLAN-GPO, whose group field placement *is* part of the
+design).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.net.packet import IpHeader, Packet, UdpHeader
+
+#: IANA LISP control plane port.
+LISP_PORT = 4342
+
+#: Wire size charged for a control message, bytes (header + one record).
+CONTROL_MESSAGE_SIZE = 120
+
+_nonce_counter = itertools.count(1)
+
+
+def next_nonce():
+    """Monotonic nonce; deterministic across runs (no randomness)."""
+    return next(_nonce_counter)
+
+
+class ControlMessage:
+    """Base class: every message has a nonce for request/reply matching."""
+
+    __slots__ = ("nonce",)
+
+    kind = "control"
+
+    def __init__(self, nonce=None):
+        self.nonce = next_nonce() if nonce is None else nonce
+
+
+class MapRegister(ControlMessage):
+    """Edge -> server: (VN, EID) is now at ``rloc``.
+
+    ``group`` is the endpoint's GroupId learned at onboarding; the server
+    stores it so Map-Replies can carry it (used by the ingress-enforcement
+    ablation).  ``mobility`` marks re-registrations caused by roaming.
+    """
+
+    __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl")
+
+    kind = "map-register"
+
+    def __init__(self, vn, eid, rloc, group, mac=None, mobility=False, ttl=None,
+                 nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.rloc = rloc
+        self.group = group
+        #: owner MAC for IP EIDs (feeds the routing server's ARP service)
+        self.mac = mac
+        self.mobility = mobility
+        self.ttl = ttl
+
+    def __repr__(self):
+        return "MapRegister(vn=%d, %s -> %s%s)" % (
+            int(self.vn), self.eid, self.rloc, ", roam" if self.mobility else ""
+        )
+
+
+class MapUnregister(ControlMessage):
+    """Edge -> server: forget (VN, EID) if still pointing at ``rloc``."""
+
+    __slots__ = ("vn", "eid", "rloc")
+
+    kind = "map-unregister"
+
+    def __init__(self, vn, eid, rloc, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.rloc = rloc
+
+
+class MapRequest(ControlMessage):
+    """Edge -> server: where is (VN, EID)?  Reply goes to ``reply_to``."""
+
+    __slots__ = ("vn", "eid", "reply_to")
+
+    kind = "map-request"
+
+    def __init__(self, vn, eid, reply_to, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.reply_to = reply_to
+
+    def __repr__(self):
+        return "MapRequest(vn=%d, %s)" % (int(self.vn), self.eid)
+
+
+class MapReply(ControlMessage):
+    """Server -> edge: the mapping (or a negative reply).
+
+    ``record`` is a :class:`repro.lisp.records.MappingRecord` or ``None``
+    for a negative reply.  Negative replies carry their own (short) TTL so
+    edges do not re-query every packet for unreachable destinations.
+    """
+
+    __slots__ = ("vn", "eid", "record", "negative_ttl")
+
+    kind = "map-reply"
+
+    def __init__(self, vn, eid, record, negative_ttl=15.0, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.record = record
+        self.negative_ttl = negative_ttl
+
+    @property
+    def is_negative(self):
+        return self.record is None
+
+
+class MapNotify(ControlMessage):
+    """Server -> old edge after a move (fig. 5, step 2).
+
+    Instructs the old edge to pull the new location and redirect traffic
+    for the endpoint.  Carries the new record so the pull costs no extra
+    round trip in the common case (the paper's step 3 "pull the new
+    location data" is the confirmation fetch).
+    """
+
+    __slots__ = ("vn", "eid", "record")
+
+    kind = "map-notify"
+
+    def __init__(self, vn, eid, record, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.record = record
+
+
+class SolicitMapRequest(ControlMessage):
+    """Old edge -> traffic source: your mapping for (VN, EID) is stale.
+
+    The data-triggered control message of fig. 6: sent when traffic for a
+    moved endpoint keeps arriving at its previous edge.  The receiver
+    must re-resolve via the routing server (it must not trust the SMR's
+    sender blindly — standard LISP anti-spoofing posture).
+    """
+
+    __slots__ = ("vn", "eid")
+
+    kind = "smr"
+
+    def __init__(self, vn, eid, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+
+
+class SubscribeRequest(ControlMessage):
+    """Border -> server: push me every mapping change (lisp-pubsub)."""
+
+    __slots__ = ("subscriber_rloc", "vn")
+
+    kind = "subscribe"
+
+    def __init__(self, subscriber_rloc, vn=None, nonce=None):
+        super().__init__(nonce)
+        self.subscriber_rloc = subscriber_rloc
+        #: None = all VNs
+        self.vn = vn
+
+
+class PublishUpdate(ControlMessage):
+    """Server -> subscriber: a mapping changed (or was withdrawn).
+
+    ``record`` is ``None`` for withdrawals.
+    """
+
+    __slots__ = ("vn", "eid", "record")
+
+    kind = "publish"
+
+    def __init__(self, vn, eid, record, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.record = record
+
+
+def control_packet(src_rloc, dst_rloc, message):
+    """Wrap a control message in an underlay UDP packet."""
+    return Packet(
+        headers=[IpHeader(src_rloc, dst_rloc), UdpHeader(LISP_PORT, LISP_PORT)],
+        payload=message,
+        size=CONTROL_MESSAGE_SIZE,
+    )

@@ -1,0 +1,168 @@
+"""Byte-accurate wire codecs for the LISP control messages used by SDA.
+
+The simulator passes message *objects* through the underlay for speed,
+but the wire formats are part of the system being reproduced (RFC 6833bis
+layouts), so this module provides real encoders/decoders used by the
+codec tests and available to anyone embedding the library in a packet
+tool.  Supported messages and their type codes:
+
+====  =========================
+1     Map-Request
+2     Map-Reply
+3     Map-Register
+4     Map-Notify
+====  =========================
+
+Simplifications relative to the full RFC (documented, not silent):
+
+* exactly one record and one locator per message (all SDA needs here);
+* authentication data is carried as a fixed 20-byte HMAC field whose
+  content the simulator does not verify;
+* the Instance ID (the VN) rides in a LISP-CP LCAF-style prefix of the
+  EID record, encoded as a plain 32-bit field before the EID.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.errors import EncapsulationError
+from repro.core.types import VNId
+from repro.net.addresses import IPv4Address, IPv6Address, MacAddress, Prefix
+
+TYPE_MAP_REQUEST = 1
+TYPE_MAP_REPLY = 2
+TYPE_MAP_REGISTER = 3
+TYPE_MAP_NOTIFY = 4
+
+#: LISP AFI codes (IANA Address Family Numbers).
+AFI_IPV4 = 1
+AFI_IPV6 = 2
+AFI_MAC = 16389
+
+_AFI_BY_FAMILY = {"ipv4": AFI_IPV4, "ipv6": AFI_IPV6, "mac": AFI_MAC}
+_CLASS_BY_AFI = {AFI_IPV4: IPv4Address, AFI_IPV6: IPv6Address, AFI_MAC: MacAddress}
+_LENGTH_BY_AFI = {AFI_IPV4: 4, AFI_IPV6: 16, AFI_MAC: 6}
+
+_AUTH_LEN = 20
+
+
+def _encode_eid(vn, eid):
+    """(instance id, AFI, mask length, address bytes)."""
+    afi = _AFI_BY_FAMILY[eid.family]
+    return struct.pack("!IHB", int(vn), afi, eid.length) + eid.address.to_bytes()
+
+
+def _decode_eid(data, offset):
+    vn_value, afi, mask = struct.unpack_from("!IHB", data, offset)
+    offset += 7
+    length = _LENGTH_BY_AFI.get(afi)
+    if length is None:
+        raise EncapsulationError("unknown EID AFI %d" % afi)
+    address = _CLASS_BY_AFI[afi].from_bytes(data[offset:offset + length])
+    offset += length
+    return VNId(vn_value), Prefix(address, mask), offset
+
+
+def _encode_rloc(rloc):
+    return struct.pack("!H", AFI_IPV4) + rloc.to_bytes()
+
+
+def _decode_rloc(data, offset):
+    (afi,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    if afi != AFI_IPV4:
+        raise EncapsulationError("RLOCs must be IPv4 in SDA, got AFI %d" % afi)
+    rloc = IPv4Address.from_bytes(data[offset:offset + 4])
+    return rloc, offset + 4
+
+
+def encode_map_request(nonce, vn, eid, reply_to):
+    """Map-Request: header + ITR-RLOC + EID record."""
+    header = struct.pack("!BxxxQ", TYPE_MAP_REQUEST << 4, nonce & ((1 << 64) - 1))
+    return header + _encode_rloc(reply_to) + _encode_eid(vn, eid)
+
+
+def decode_map_request(data):
+    kind = data[0] >> 4
+    if kind != TYPE_MAP_REQUEST:
+        raise EncapsulationError("not a Map-Request (type %d)" % kind)
+    (nonce,) = struct.unpack_from("!Q", data, 4)
+    reply_to, offset = _decode_rloc(data, 12)
+    vn, eid, _ = _decode_eid(data, offset)
+    return {"nonce": nonce, "vn": vn, "eid": eid, "reply_to": reply_to}
+
+
+def encode_map_reply(nonce, vn, eid, rloc=None, ttl_s=86400, version=1):
+    """Map-Reply: negative when ``rloc`` is None (locator count 0)."""
+    locator_count = 0 if rloc is None else 1
+    header = struct.pack(
+        "!BxBxQ", TYPE_MAP_REPLY << 4, locator_count, nonce & ((1 << 64) - 1)
+    )
+    record = struct.pack("!IH", int(ttl_s), version & 0xFFFF) + _encode_eid(vn, eid)
+    body = header + record
+    if rloc is not None:
+        body += _encode_rloc(rloc)
+    return body
+
+
+def decode_map_reply(data):
+    kind = data[0] >> 4
+    if kind != TYPE_MAP_REPLY:
+        raise EncapsulationError("not a Map-Reply (type %d)" % kind)
+    locator_count = data[2]
+    (nonce,) = struct.unpack_from("!Q", data, 4)
+    ttl_s, version = struct.unpack_from("!IH", data, 12)
+    vn, eid, offset = _decode_eid(data, 18)
+    rloc = None
+    if locator_count:
+        rloc, offset = _decode_rloc(data, offset)
+    return {"nonce": nonce, "vn": vn, "eid": eid, "rloc": rloc,
+            "ttl_s": ttl_s, "version": version,
+            "negative": locator_count == 0}
+
+
+def encode_map_register(nonce, vn, eid, rloc, want_notify=True, auth=b""):
+    flags = 0x01 if want_notify else 0x00   # M bit (want-map-notify)
+    header = struct.pack(
+        "!BxxBQ", TYPE_MAP_REGISTER << 4, flags, nonce & ((1 << 64) - 1)
+    )
+    auth_field = (auth + b"\x00" * _AUTH_LEN)[:_AUTH_LEN]
+    return header + auth_field + _encode_eid(vn, eid) + _encode_rloc(rloc)
+
+
+def decode_map_register(data):
+    kind = data[0] >> 4
+    if kind != TYPE_MAP_REGISTER:
+        raise EncapsulationError("not a Map-Register (type %d)" % kind)
+    want_notify = bool(data[3] & 0x01)
+    (nonce,) = struct.unpack_from("!Q", data, 4)
+    offset = 12 + _AUTH_LEN
+    vn, eid, offset = _decode_eid(data, offset)
+    rloc, _ = _decode_rloc(data, offset)
+    return {"nonce": nonce, "vn": vn, "eid": eid, "rloc": rloc,
+            "want_notify": want_notify}
+
+
+def encode_map_notify(nonce, vn, eid, rloc, auth=b""):
+    header = struct.pack("!BxxxQ", TYPE_MAP_NOTIFY << 4, nonce & ((1 << 64) - 1))
+    auth_field = (auth + b"\x00" * _AUTH_LEN)[:_AUTH_LEN]
+    return header + auth_field + _encode_eid(vn, eid) + _encode_rloc(rloc)
+
+
+def decode_map_notify(data):
+    kind = data[0] >> 4
+    if kind != TYPE_MAP_NOTIFY:
+        raise EncapsulationError("not a Map-Notify (type %d)" % kind)
+    (nonce,) = struct.unpack_from("!Q", data, 4)
+    offset = 12 + _AUTH_LEN
+    vn, eid, offset = _decode_eid(data, offset)
+    rloc, _ = _decode_rloc(data, offset)
+    return {"nonce": nonce, "vn": vn, "eid": eid, "rloc": rloc}
+
+
+def message_type(data):
+    """Peek the LISP type code of an encoded control message."""
+    if not data:
+        raise EncapsulationError("empty LISP message")
+    return data[0] >> 4

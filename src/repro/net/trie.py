@@ -1,0 +1,249 @@
+"""Patricia (radix) trie for longest-prefix matching.
+
+The paper explains why the routing server's delay is flat in the number of
+routes (sec. 4.1): "this architecture is designed to store network state
+hierarchically, it makes it easy to implement the routing server with a
+Patricia Trie.  The delay of this data structure depends on the number of
+bits of the keys, not the number of elements."
+
+This module implements that structure: a path-compressed binary trie keyed
+by :class:`repro.net.addresses.Prefix`.  Lookup cost is O(key bits)
+regardless of occupancy, which is exactly the property Fig. 7a/7b measure.
+
+The trie is family-specific — one trie per (VN, address family) in the
+routing server — because mixing 32/48/128-bit keys in one tree would break
+prefix semantics.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.net.addresses import Prefix
+
+
+class _Node:
+    """Internal trie node.
+
+    ``prefix`` is the key path from the root down to (and including) this
+    node; ``value`` is set only when a route is actually stored here.
+    Children are indexed by the first bit after this node's prefix.
+    """
+
+    __slots__ = ("prefix", "value", "has_value", "children")
+
+    def __init__(self, prefix):
+        self.prefix = prefix
+        self.value = None
+        self.has_value = False
+        self.children = [None, None]
+
+
+def _common_prefix_length(a, b, limit):
+    """Number of leading bits shared by prefixes ``a`` and ``b`` (<= limit)."""
+    length = 0
+    while length < limit and a.bit(length) == b.bit(length):
+        length += 1
+    return length
+
+
+class PatriciaTrie:
+    """A path-compressed binary trie mapping prefixes to values.
+
+    Supports exact insert/delete and longest-prefix-match lookup.  All keys
+    must belong to the same address family (enforced on first insert).
+    """
+
+    def __init__(self, family=None):
+        self._root = None
+        self._family = family
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    def __bool__(self):
+        # An empty trie is falsy like other containers; len() is tracked.
+        return self._size > 0
+
+    @property
+    def family(self):
+        return self._family
+
+    def _check_family(self, prefix):
+        if self._family is None:
+            self._family = prefix.family
+        elif prefix.family != self._family:
+            raise ConfigurationError(
+                "trie holds %s keys, got %s" % (self._family, prefix.family)
+            )
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, prefix, value):
+        """Insert or replace the value stored at exactly ``prefix``."""
+        if not isinstance(prefix, Prefix):
+            raise ConfigurationError("trie keys must be Prefix, got %r" % (prefix,))
+        self._check_family(prefix)
+        if self._root is None:
+            node = _Node(prefix)
+            node.value, node.has_value = value, True
+            self._root = node
+            self._size = 1
+            return
+
+        node = self._root
+        parent = None
+        parent_bit = 0
+        while True:
+            shared = _common_prefix_length(
+                prefix, node.prefix, min(prefix.length, node.prefix.length)
+            )
+            if shared == node.prefix.length == prefix.length:
+                if not node.has_value:
+                    self._size += 1
+                node.value, node.has_value = value, True
+                return
+            if shared == node.prefix.length:
+                # Descend into the child selected by the next key bit.
+                branch = prefix.bit(shared)
+                child = node.children[branch]
+                if child is None:
+                    leaf = _Node(prefix)
+                    leaf.value, leaf.has_value = value, True
+                    node.children[branch] = leaf
+                    self._size += 1
+                    return
+                parent, parent_bit, node = node, branch, child
+                continue
+            # Split: create an intermediate node at the divergence point.
+            split = _Node(Prefix(node.prefix.address, shared))
+            old_branch = node.prefix.bit(shared)
+            split.children[old_branch] = node
+            if shared == prefix.length:
+                split.value, split.has_value = value, True
+            else:
+                leaf = _Node(prefix)
+                leaf.value, leaf.has_value = value, True
+                split.children[prefix.bit(shared)] = leaf
+            if parent is None:
+                self._root = split
+            else:
+                parent.children[parent_bit] = split
+            self._size += 1
+            return
+
+    def delete(self, prefix):
+        """Remove the exact ``prefix``; returns True if it was present."""
+        if self._root is None:
+            return False
+        path = []  # (parent, branch) pairs down to the node
+        node = self._root
+        while True:
+            if node.prefix.length > prefix.length:
+                return False
+            shared = _common_prefix_length(prefix, node.prefix, node.prefix.length)
+            if shared < node.prefix.length:
+                return False
+            if node.prefix.length == prefix.length:
+                break
+            branch = prefix.bit(node.prefix.length)
+            child = node.children[branch]
+            if child is None:
+                return False
+            path.append((node, branch))
+            node = child
+        if not node.has_value:
+            return False
+        node.value, node.has_value = None, False
+        self._size -= 1
+        self._prune(node, path)
+        return True
+
+    def _prune(self, node, path):
+        """Collapse valueless single-child / childless nodes after delete."""
+        kids = [c for c in node.children if c is not None]
+        if node.has_value:
+            return
+        if not kids:
+            if path:
+                parent, branch = path[-1]
+                parent.children[branch] = None
+                self._prune(parent, path[:-1])
+            else:
+                self._root = None
+        elif len(kids) == 1:
+            # Path-compress: splice the only child up.
+            if path:
+                parent, branch = path[-1]
+                parent.children[branch] = kids[0]
+            else:
+                self._root = kids[0]
+
+    def clear(self):
+        self._root = None
+        self._size = 0
+
+    # -- queries ---------------------------------------------------------------
+    def lookup_exact(self, prefix):
+        """Return the value at exactly ``prefix`` or ``None``."""
+        node = self._find_node(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return None
+
+    def __contains__(self, prefix):
+        node = self._find_node(prefix)
+        return node is not None and node.has_value
+
+    def _find_node(self, prefix):
+        node = self._root
+        while node is not None:
+            if node.prefix.length > prefix.length:
+                return None
+            shared = _common_prefix_length(prefix, node.prefix, node.prefix.length)
+            if shared < node.prefix.length:
+                return None
+            if node.prefix.length == prefix.length:
+                return node
+            node = node.children[prefix.bit(node.prefix.length)]
+        return None
+
+    def lookup_longest(self, address):
+        """Longest-prefix match for an address (or host prefix).
+
+        Returns ``(prefix, value)`` of the most specific covering route, or
+        ``None`` when nothing matches (not even a default route).
+        """
+        key = address.to_prefix() if not isinstance(address, Prefix) else address
+        best = None
+        node = self._root
+        while node is not None:
+            if node.prefix.length > key.length:
+                break
+            shared = _common_prefix_length(key, node.prefix, node.prefix.length)
+            if shared < node.prefix.length:
+                break
+            if node.has_value:
+                best = (node.prefix, node.value)
+            if node.prefix.length == key.length:
+                break
+            node = node.children[key.bit(node.prefix.length)]
+        return best
+
+    def items(self):
+        """Yield ``(prefix, value)`` pairs in depth-first (sorted) order."""
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                yield node.prefix, node.value
+            for child in (node.children[1], node.children[0]):
+                if child is not None:
+                    stack.append(child)
+
+    def keys(self):
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self):
+        for _, value in self.items():
+            yield value

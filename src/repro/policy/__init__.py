@@ -1,0 +1,33 @@
+"""Policy plane: endpoint authentication, groups, VNs, the connectivity
+matrix and its distribution to the data plane.
+
+The paper's policy server (sec. 3.2.1) stores, for each endpoint, its
+authentication data plus an assigned (GroupId, VN); and, per VN, a
+connectivity matrix of (source group, destination group) -> allow/deny.
+Rules are distributed to edge routers over SXP; each edge downloads only
+the rules whose *destination* group is local to it (egress enforcement,
+sec. 5.3).
+"""
+
+from repro.policy.groups import Group, VirtualNetwork, SegmentationPlan
+from repro.policy.matrix import ConnectivityMatrix, PolicyAction, PolicyRule
+from repro.policy.server import PolicyServer, EndpointCredential, AccessResult
+from repro.policy.acl import GroupAcl, IpAcl, IpAclRule
+from repro.policy.sxp import SxpSpeaker, SxpBinding
+
+__all__ = [
+    "Group",
+    "VirtualNetwork",
+    "SegmentationPlan",
+    "ConnectivityMatrix",
+    "PolicyAction",
+    "PolicyRule",
+    "PolicyServer",
+    "EndpointCredential",
+    "AccessResult",
+    "GroupAcl",
+    "IpAcl",
+    "IpAclRule",
+    "SxpSpeaker",
+    "SxpBinding",
+]

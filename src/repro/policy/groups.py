@@ -1,0 +1,128 @@
+"""Groups, virtual networks and the operator's segmentation plan.
+
+The declarative interface of fig. 1: the operator defines (i) virtual
+networks (macro segmentation), (ii) groups within each VN (micro
+segmentation), and (iii) which endpoints belong where.  Everything else —
+ACL rendering, SXP distribution, VRF programming — is derived.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PolicyError
+from repro.core.types import GroupId, VNId
+
+
+class Group:
+    """A named endpoint group (Scalable Group Tag)."""
+
+    __slots__ = ("group_id", "name", "vn", "description")
+
+    def __init__(self, group_id, name, vn, description=""):
+        self.group_id = group_id if isinstance(group_id, GroupId) else GroupId(group_id)
+        self.name = name
+        self.vn = vn if isinstance(vn, VNId) else VNId(vn)
+        self.description = description
+
+    def __repr__(self):
+        return "Group(%d, %r, vn=%d)" % (int(self.group_id), self.name, int(self.vn))
+
+
+class VirtualNetwork:
+    """A named VN: an isolated routing domain (maps to VRFs fabric-wide)."""
+
+    __slots__ = ("vn_id", "name", "description")
+
+    def __init__(self, vn_id, name, description=""):
+        self.vn_id = vn_id if isinstance(vn_id, VNId) else VNId(vn_id)
+        self.name = name
+        self.description = description
+
+    def __repr__(self):
+        return "VirtualNetwork(%d, %r)" % (int(self.vn_id), self.name)
+
+
+class SegmentationPlan:
+    """The operator's full segmentation intent: VNs + groups.
+
+    A registry with uniqueness checks; the policy server holds one and
+    validates endpoint assignments against it.
+    """
+
+    def __init__(self):
+        self._vns = {}      # int -> VirtualNetwork
+        self._groups = {}   # int -> Group
+        self._group_names = {}
+
+    # -- VNs ---------------------------------------------------------------
+    def add_vn(self, vn_id, name, description=""):
+        vn = VirtualNetwork(vn_id, name, description)
+        key = int(vn.vn_id)
+        if key in self._vns:
+            raise PolicyError("duplicate VN id %d" % key)
+        if any(existing.name == name for existing in self._vns.values()):
+            raise PolicyError("duplicate VN name %r" % name)
+        self._vns[key] = vn
+        return vn
+
+    def vn(self, vn_id):
+        try:
+            return self._vns[int(vn_id)]
+        except KeyError:
+            raise PolicyError("unknown VN %r" % vn_id)
+
+    def vn_by_name(self, name):
+        for vn in self._vns.values():
+            if vn.name == name:
+                return vn
+        raise PolicyError("unknown VN name %r" % name)
+
+    def vns(self):
+        return list(self._vns.values())
+
+    def has_vn(self, vn_id):
+        return int(vn_id) in self._vns
+
+    # -- groups ------------------------------------------------------------
+    def add_group(self, group_id, name, vn_id, description=""):
+        if int(vn_id) not in self._vns:
+            raise PolicyError("group %r references unknown VN %r" % (name, vn_id))
+        group = Group(group_id, name, vn_id, description)
+        key = int(group.group_id)
+        if key in self._groups:
+            raise PolicyError("duplicate group id %d" % key)
+        if name in self._group_names:
+            raise PolicyError("duplicate group name %r" % name)
+        self._groups[key] = group
+        self._group_names[name] = group
+        return group
+
+    def group(self, group_id):
+        try:
+            return self._groups[int(group_id)]
+        except KeyError:
+            raise PolicyError("unknown group %r" % group_id)
+
+    def group_by_name(self, name):
+        try:
+            return self._group_names[name]
+        except KeyError:
+            raise PolicyError("unknown group name %r" % name)
+
+    def groups(self, vn_id=None):
+        if vn_id is None:
+            return list(self._groups.values())
+        return [g for g in self._groups.values() if int(g.vn) == int(vn_id)]
+
+    def has_group(self, group_id):
+        return int(group_id) in self._groups
+
+    def validate_same_vn(self, group_a, group_b):
+        """Group rules are intra-VN only (VNs are strongly isolated)."""
+        a = self.group(group_a)
+        b = self.group(group_b)
+        if int(a.vn) != int(b.vn):
+            raise PolicyError(
+                "groups %r and %r are in different VNs; inter-VN traffic "
+                "is denied by construction" % (a.name, b.name)
+            )
+        return a.vn

@@ -1,0 +1,147 @@
+"""SXP: Scalable-Group Tag eXchange Protocol (binding + rule distribution).
+
+The paper uses SXP "to distribute the GroupIds and connectivity rules to
+edge routers" (sec. 3.2.1).  Two things flow over it here:
+
+* **Bindings** — (VN, IP prefix) -> GroupId associations, for devices that
+  need to classify traffic they did not onboard themselves (the border
+  classifying Internet-bound return traffic, ingress enforcement mode).
+* **Rule updates** — matrix rows pushed to edges that hold the affected
+  destination group.
+
+The class counts every message sent; those counters are the signaling-cost
+data for the sec. 5.4 policy-update trade-off experiment.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PolicyError
+from repro.lisp.messages import ControlMessage, control_packet
+
+
+class SxpBinding:
+    """(VN, prefix) -> group binding."""
+
+    __slots__ = ("vn", "prefix", "group")
+
+    def __init__(self, vn, prefix, group):
+        self.vn = vn
+        self.prefix = prefix
+        self.group = group
+
+    def __repr__(self):
+        return "SxpBinding(vn=%d, %s -> group %d)" % (
+            int(self.vn), self.prefix, int(self.group)
+        )
+
+
+class SxpUpdate(ControlMessage):
+    """One SXP update: a binding, a binding withdrawal, or a rule."""
+
+    __slots__ = ("binding", "withdrawn", "rule")
+
+    kind = "sxp-update"
+
+    def __init__(self, binding=None, withdrawn=False, rule=None, nonce=None):
+        super().__init__(nonce)
+        if (binding is None) == (rule is None):
+            raise PolicyError("SXP update carries exactly one of binding/rule")
+        self.binding = binding
+        self.withdrawn = withdrawn
+        self.rule = rule
+
+
+class SxpSpeaker:
+    """The distribution side of SXP, colocated with the policy server.
+
+    Peers subscribe with the set of destination groups they host; rule
+    updates are delivered only to peers hosting the rule's destination
+    group (egress enforcement keeps this narrow — the sec. 5.3 benefit),
+    while bindings go to peers that asked for binding feed (ingress
+    enforcement mode and borders).
+    """
+
+    def __init__(self, sim, underlay=None, rloc=None):
+        self.sim = sim
+        self.underlay = underlay
+        self.rloc = rloc
+        self._peers = {}          # peer rloc -> set of hosted dst groups
+        self._binding_peers = set()
+        self._bindings = {}       # (vn int, prefix) -> SxpBinding
+        self.updates_sent = 0
+        self.rule_updates_sent = 0
+        self.binding_updates_sent = 0
+
+    # -- peer management ---------------------------------------------------------
+    def add_peer(self, peer_rloc, wants_bindings=False):
+        self._peers.setdefault(peer_rloc, set())
+        if wants_bindings:
+            self._binding_peers.add(peer_rloc)
+            for binding in self._bindings.values():
+                self._send(peer_rloc, SxpUpdate(binding=binding))
+                self.binding_updates_sent += 1
+
+    def remove_peer(self, peer_rloc):
+        self._peers.pop(peer_rloc, None)
+        self._binding_peers.discard(peer_rloc)
+
+    def set_peer_groups(self, peer_rloc, groups):
+        """Declare which destination groups a peer currently hosts."""
+        if peer_rloc not in self._peers:
+            raise PolicyError("unknown SXP peer %s" % peer_rloc)
+        self._peers[peer_rloc] = {int(g) for g in groups}
+
+    def peer_hosts_group(self, peer_rloc, group):
+        return int(group) in self._peers.get(peer_rloc, set())
+
+    # -- bindings ----------------------------------------------------------------
+    def publish_binding(self, binding):
+        self._bindings[(int(binding.vn), binding.prefix)] = binding
+        for peer in self._binding_peers:
+            self._send(peer, SxpUpdate(binding=binding))
+            self.binding_updates_sent += 1
+
+    def withdraw_binding(self, vn, prefix):
+        binding = self._bindings.pop((int(vn), prefix), None)
+        if binding is None:
+            return False
+        for peer in self._binding_peers:
+            self._send(peer, SxpUpdate(binding=binding, withdrawn=True))
+            self.binding_updates_sent += 1
+        return True
+
+    def binding_for(self, vn, address):
+        """Classify an address via bindings (most specific wins)."""
+        best = None
+        for (bound_vn, prefix), binding in self._bindings.items():
+            if bound_vn != int(vn):
+                continue
+            if prefix.contains(address):
+                if best is None or prefix.length > best.prefix.length:
+                    best = binding
+        return best
+
+    # -- rule distribution -----------------------------------------------------------
+    def distribute_rule(self, rule):
+        """Push a matrix rule to every peer hosting its destination group.
+
+        Returns the number of peers updated — the signaling cost of a
+        direct matrix edit (sec. 5.4 compares this against moving
+        endpoints between groups, which costs re-auth only at the
+        endpoints' own edges).
+        """
+        delivered = 0
+        dst = int(rule.dst_group)
+        for peer, groups in self._peers.items():
+            if dst in groups:
+                self._send(peer, SxpUpdate(rule=rule))
+                self.rule_updates_sent += 1
+                delivered += 1
+        return delivered
+
+    def _send(self, peer_rloc, update):
+        self.updates_sent += 1
+        if self.underlay is not None and self.rloc is not None:
+            self.underlay.send(
+                self.rloc, peer_rloc, control_packet(self.rloc, peer_rloc, update)
+            )

@@ -1,0 +1,101 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
+number breaks ties deterministically: two events scheduled for the same
+instant fire in scheduling order, which keeps simulations reproducible
+regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`EventQueue.push` (or the higher level
+    :meth:`repro.sim.Simulator.schedule`) rather than directly.  An event can
+    be cancelled, which marks it dead in place; the queue skips dead events
+    on pop (lazy deletion, the standard heapq idiom).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+    def fire(self):
+        """Invoke the callback (no-op if cancelled)."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t=%r, seq=%d, %s)" % (self.time, self.seq, state)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def __bool__(self):
+        return self._live > 0
+
+    def push(self, time, callback, args=()):
+        """Schedule ``callback(*args)`` at simulated ``time``.
+
+        Returns the :class:`Event` so the caller may cancel it later.
+        """
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self):
+        """Remove and return the earliest live event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def cancel(self, event):
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self):
+        """Return the time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

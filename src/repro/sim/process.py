@@ -1,0 +1,74 @@
+"""Process helpers built on the simulator: periodic tasks and delayed calls."""
+
+from __future__ import annotations
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``period`` seconds of simulated time.
+
+    Used for the hourly FIB samplers of the campus experiment (fig. 9) and
+    the per-second mobility pulses of the warehouse experiment (fig. 11).
+
+    The process re-schedules itself after each invocation, so the callback
+    may call :meth:`stop` to terminate the cycle from within.
+    """
+
+    def __init__(self, sim, period, callback, start_delay=None, jitter=None, rng=None):
+        """Create and start the process.
+
+        Parameters
+        ----------
+        sim:
+            The :class:`repro.sim.Simulator` to run on.
+        period:
+            Seconds between invocations.
+        callback:
+            Zero-argument callable.
+        start_delay:
+            Delay before the first invocation; defaults to ``period``.
+        jitter:
+            If set, each interval is perturbed by a uniform offset in
+            ``[-jitter, +jitter]`` drawn from ``rng`` (required then).
+        """
+        if period <= 0:
+            raise ValueError("period must be positive, got %r" % period)
+        if jitter is not None and rng is None:
+            raise ValueError("jitter requires an rng")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._rng = rng
+        self._stopped = False
+        self._event = None
+        first = period if start_delay is None else start_delay
+        self._event = sim.schedule(first, self._tick)
+
+    @property
+    def stopped(self):
+        return self._stopped
+
+    def _next_interval(self):
+        if self._jitter is None:
+            return self._period
+        offset = self._rng.uniform(-self._jitter, self._jitter)
+        return max(1e-9, self._period + offset)
+
+    def _tick(self):
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._next_interval(), self._tick)
+
+    def stop(self):
+        """Stop the cycle; pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+
+def delayed_call(sim, delay, callback, *args):
+    """Sugar for ``sim.schedule`` that reads well at call sites."""
+    return sim.schedule(delay, callback, *args)

@@ -1,0 +1,123 @@
+"""The discrete-event simulator: clock + event loop + tracing.
+
+Design notes
+------------
+* Time is a float in **seconds** of simulated time.  All latencies in the
+  fabric (link delay, server processing time, ...) are expressed in the
+  same unit.
+* ``schedule(delay, fn, *args)`` is relative; ``schedule_at`` is absolute.
+* The simulator never advances past events: ``run(until=t)`` executes every
+  event with time <= t and leaves ``now`` at t, so periodic samplers can be
+  interleaved with ``run`` windows.
+* A trace hook receives ``(time, category, message)`` tuples; experiments
+  use it to capture protocol-level happenings without coupling modules to
+  any logging backend.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``(time, category, message) -> None`` invoked for
+        every :meth:`log` call.  ``None`` disables tracing (the default).
+    """
+
+    def __init__(self, trace=None):
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._trace = trace
+        self.events_processed = 0
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self):
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` after ``delay`` seconds.
+
+        ``delay`` must be >= 0; zero-delay events fire after the current
+        event completes, in FIFO order among same-time events.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at %r, now is %r" % (time, self._now)
+            )
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, event):
+        """Cancel a scheduled event (safe to call twice)."""
+        self._queue.cancel(event)
+
+    def run(self, until=None, max_events=None):
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be strictly later than this
+            time, and advance the clock to exactly ``until``.  ``None``
+            runs to queue exhaustion.
+        max_events:
+            Safety valve: stop after this many events (``None`` = no cap).
+
+        Returns the number of events processed during this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.fire()
+                processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        self.events_processed += processed
+        return processed
+
+    def step(self):
+        """Process exactly one event; return False if the queue was empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.fire()
+        self.events_processed += 1
+        return True
+
+    def log(self, category, message):
+        """Emit a trace record if tracing is enabled."""
+        if self._trace is not None:
+            self._trace(self._now, category, message)

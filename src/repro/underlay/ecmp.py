@@ -1,0 +1,88 @@
+"""ECMP: equal-cost multipath selection by flow hash.
+
+The underlay "leverage[s] ... ECMP for redundancy" (sec. 3.3).  VXLAN's
+entropy source port (see :func:`repro.net.vxlan.encapsulate`) exists so
+that underlay routers can spread overlay flows over equal-cost paths
+while keeping each flow on one path (no reordering).
+
+:class:`EcmpSelector` implements the canonical hash-based next-hop choice
+used at each hop, plus consistent behaviour under path-set changes: when
+a path dies, only flows on the dead path move (HRW / rendezvous hashing),
+instead of the naive ``hash % n`` reshuffle that would disturb every flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import ConfigurationError
+
+
+def flow_key(packet):
+    """The 5-tuple-ish hash input for a simulated packet.
+
+    Uses the outermost IP pair plus UDP ports when present — for
+    VXLAN-encapsulated traffic the entropy source port makes distinct
+    inner flows hash differently, which is the whole design.
+    """
+    ip_header = packet.ip
+    if ip_header is None:
+        return b"no-ip"
+    parts = [str(ip_header.src), str(ip_header.dst), str(ip_header.proto)]
+    from repro.net.packet import UdpHeader
+
+    udp = packet.find(UdpHeader)
+    if udp is not None:
+        parts.append(str(udp.src_port))
+        parts.append(str(udp.dst_port))
+    return "|".join(parts).encode()
+
+
+def _weight(key, path_id):
+    digest = hashlib.blake2b(key + b"#" + str(path_id).encode(),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class EcmpSelector:
+    """Rendezvous-hash selection over a set of equal-cost paths."""
+
+    def __init__(self, paths):
+        if not paths:
+            raise ConfigurationError("ECMP needs at least one path")
+        self._paths = list(paths)
+
+    @property
+    def paths(self):
+        return list(self._paths)
+
+    def select(self, packet):
+        """Pick the path for a packet (sticky per flow)."""
+        key = flow_key(packet)
+        return max(self._paths, key=lambda path: _weight(key, path))
+
+    def select_by_key(self, key):
+        if isinstance(key, str):
+            key = key.encode()
+        return max(self._paths, key=lambda path: _weight(key, path))
+
+    def remove_path(self, path):
+        """Drop a failed path; flows on surviving paths are undisturbed
+        (the rendezvous-hashing property)."""
+        if path not in self._paths:
+            raise ConfigurationError("unknown ECMP path %r" % (path,))
+        if len(self._paths) == 1:
+            raise ConfigurationError("cannot remove the last ECMP path")
+        self._paths.remove(path)
+
+    def add_path(self, path):
+        if path in self._paths:
+            raise ConfigurationError("duplicate ECMP path %r" % (path,))
+        self._paths.append(path)
+
+    def distribution(self, keys):
+        """Histogram of path choices over an iterable of flow keys."""
+        counts = {path: 0 for path in self._paths}
+        for key in keys:
+            counts[self.select_by_key(key)] += 1
+        return counts

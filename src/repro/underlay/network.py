@@ -1,0 +1,214 @@
+"""The underlay delivery network fabric devices attach to.
+
+A fabric device (edge/border router, routing server, policy server) attaches
+at a topology node with an RLOC (underlay IPv4 address).  ``send`` routes a
+packet from the source's attachment point to the destination RLOC's
+attachment point along the IGP shortest path, charging per-link propagation
+delay plus serialization on the narrowest link.
+
+Delivery is *analytic* rather than hop-by-hop queued: at warehouse scale
+(16k endpoints, 800 moves/s) simulating per-hop queues would dominate run
+time without changing any result the paper reports, because every reported
+number is either state (FIB counts) or a delay *relative to the minimum*.
+Congestion-sensitive experiments can still use :class:`repro.net.links.Link`
+directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+
+
+class _Attachment:
+    __slots__ = ("rloc", "node", "deliver", "announced")
+
+    def __init__(self, rloc, node, deliver):
+        self.rloc = rloc
+        self.node = node
+        self.deliver = deliver
+        self.announced = True
+
+
+class UnderlayNetwork:
+    """Connects fabric devices over a topology + IGP domain.
+
+    Parameters
+    ----------
+    sim:
+        Simulator for the clock.
+    topology:
+        A :class:`repro.underlay.Topology`.
+    igp:
+        Optional :class:`repro.underlay.IgpDomain`; when present,
+        reachability and path costs come from the *destination-side IGP
+        view*, and devices can subscribe to RLOC reachability.  Without an
+        IGP, the network assumes full static reachability along
+        topology shortest paths (cheap mode for control-plane-only
+        experiments).
+    extra_delay_jitter_s:
+        Uniform jitter added to each delivery, modelling OS/queueing noise
+        (seeded; 0 disables).
+    """
+
+    def __init__(self, sim, topology, igp=None, extra_delay_jitter_s=0.0, seed=7):
+        self.sim = sim
+        self.topology = topology
+        self.igp = igp
+        self.extra_delay_jitter_s = extra_delay_jitter_s
+        self._rng = SeededRng(seed)
+        self._attachments = {}        # rloc -> _Attachment
+        self._path_cache = {}         # (src node, dst node) -> (delay, hops) at version
+        self._path_cache_version = -1
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+        self.bytes_delivered = 0
+
+    # -- attachment ------------------------------------------------------------------
+    def attach(self, rloc, node, deliver):
+        """Attach a device with address ``rloc`` at topology ``node``.
+
+        ``deliver(packet)`` is invoked for each packet addressed to the
+        RLOC.  If an IGP is present, the node's IGP speaker starts
+        announcing the RLOC.
+        """
+        if rloc in self._attachments:
+            raise ConfigurationError("RLOC %s already attached" % rloc)
+        if not self.topology.has_node(node):
+            raise ConfigurationError("unknown topology node %r" % node)
+        self._attachments[rloc] = _Attachment(rloc, node, deliver)
+        if self.igp is not None:
+            self.igp.router(node).announce_stub(rloc)
+
+    def detach(self, rloc):
+        attachment = self._attachments.pop(rloc, None)
+        if attachment is not None and self.igp is not None:
+            self.igp.router(attachment.node).withdraw_stub(rloc)
+
+    def attachment_node(self, rloc):
+        attachment = self._attachments.get(rloc)
+        return attachment.node if attachment else None
+
+    def set_announced(self, rloc, announced):
+        """Silence/resume a device's IGP announcement (reboot modelling)."""
+        attachment = self._attachments.get(rloc)
+        if attachment is None:
+            raise ConfigurationError("unknown RLOC %s" % rloc)
+        attachment.announced = bool(announced)
+        if self.igp is not None:
+            router = self.igp.router(attachment.node)
+            if announced:
+                router.announce_stub(rloc)
+            else:
+                router.withdraw_stub(rloc)
+
+    def subscribe_reachability(self, at_node, callback):
+        """Subscribe to RLOC reachability as seen from ``at_node``'s IGP."""
+        if self.igp is None:
+            raise ConfigurationError("reachability subscription requires an IGP")
+        self.igp.router(at_node).subscribe_reachability(callback)
+
+    # -- path computation ---------------------------------------------------------------
+    def _paths(self):
+        if self._path_cache_version != self.topology.version:
+            self._path_cache = {}
+            self._path_cache_version = self.topology.version
+        return self._path_cache
+
+    def _compute_path(self, src_node, dst_node):
+        """BFS-by-cost (Dijkstra) over live topology; returns (delay, hops).
+
+        Uses link delay as the accumulated quantity and metric for route
+        selection; results are cached per topology version.
+        """
+        import heapq
+
+        if src_node == dst_node:
+            return (0.0, 0)
+        best_cost = {src_node: 0}
+        best_delay = {src_node: 0.0}
+        best_hops = {src_node: 0}
+        heap = [(0, 0.0, 0, src_node)]
+        visited = set()
+        while heap:
+            cost, delay, hops, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst_node:
+                return (delay, hops)
+            for neighbor, link in self.topology.neighbors(node):
+                candidate = cost + link.metric
+                if candidate < best_cost.get(neighbor, float("inf")):
+                    best_cost[neighbor] = candidate
+                    best_delay[neighbor] = delay + link.delay_s
+                    best_hops[neighbor] = hops + 1
+                    heapq.heappush(
+                        heap, (candidate, delay + link.delay_s, hops + 1, neighbor)
+                    )
+        return None
+
+    def path_delay(self, src_node, dst_node):
+        """Shortest-path propagation delay between two nodes (or ``None``)."""
+        cache = self._paths()
+        key = (src_node, dst_node)
+        if key not in cache:
+            cache[key] = self._compute_path(src_node, dst_node)
+        entry = cache[key]
+        return entry[0] if entry else None
+
+    def reachable(self, from_rloc, to_rloc):
+        """Is ``to_rloc`` reachable from ``from_rloc``'s attachment point?"""
+        src = self._attachments.get(from_rloc)
+        dst = self._attachments.get(to_rloc)
+        if src is None or dst is None or not dst.announced:
+            return False
+        if self.igp is not None:
+            return self.igp.router(src.node).rloc_is_reachable(to_rloc)
+        return self.path_delay(src.node, dst.node) is not None
+
+    # -- delivery --------------------------------------------------------------------------
+    def send(self, from_rloc, to_rloc, packet, processing_delay_s=0.0):
+        """Deliver ``packet`` from one RLOC to another.
+
+        Returns True if the packet was scheduled for delivery, False if it
+        was dropped (unknown/unannounced destination or partitioned
+        underlay).  ``processing_delay_s`` lets callers add sender-side
+        processing time without scheduling extra events.
+        """
+        src = self._attachments.get(from_rloc)
+        dst = self._attachments.get(to_rloc)
+        if src is None:
+            raise ConfigurationError("send from unattached RLOC %s" % from_rloc)
+        if dst is None or not dst.announced:
+            self.dropped_packets += 1
+            return False
+        path = self._paths().get((src.node, dst.node))
+        if path is None:
+            path = self._compute_path(src.node, dst.node)
+            self._paths()[(src.node, dst.node)] = path
+        if path is None:
+            self.dropped_packets += 1
+            return False
+        delay, hops = path
+        # Serialization on each hop, modelled once at the narrowest assumption
+        # (uniform link speeds in our canned topologies).
+        serialization = 0.0
+        if hops:
+            serialization = hops * (packet.size * 8.0 / 10e9)
+        total = processing_delay_s + delay + serialization
+        if self.extra_delay_jitter_s:
+            total += self._rng.uniform(0, self.extra_delay_jitter_s)
+        self.sim.schedule(total, self._deliver, dst, packet)
+        return True
+
+    def _deliver(self, attachment, packet):
+        # Re-check liveness at arrival time: the device may have detached
+        # or gone silent while the packet was in flight.
+        live = self._attachments.get(attachment.rloc)
+        if live is None:
+            self.dropped_packets += 1
+            return
+        self.delivered_packets += 1
+        self.bytes_delivered += packet.size
+        live.deliver(packet)

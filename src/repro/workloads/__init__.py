@@ -1,0 +1,33 @@
+"""Workload generators reproducing the paper's two deployment scenarios.
+
+* :mod:`repro.workloads.campus` — the buildings A/B diurnal presence +
+  traffic model behind fig. 9 / table 5 (FIB state study).
+* :mod:`repro.workloads.warehouse` — the 16,000-robot, 800-moves/s
+  massive-mobility scenario behind fig. 11 (handover delay, LISP vs BGP).
+* :mod:`repro.workloads.traffic` — shared flow/popularity machinery.
+"""
+
+from repro.workloads.traffic import FlowGenerator, PopularityModel
+from repro.workloads.campus import (
+    CampusProfile,
+    CampusWorkload,
+    BUILDING_A,
+    BUILDING_B,
+)
+from repro.workloads.warehouse import (
+    WarehouseScenario,
+    WarehouseLispRun,
+    WarehouseBgpRun,
+)
+
+__all__ = [
+    "FlowGenerator",
+    "PopularityModel",
+    "CampusProfile",
+    "CampusWorkload",
+    "BUILDING_A",
+    "BUILDING_B",
+    "WarehouseScenario",
+    "WarehouseLispRun",
+    "WarehouseBgpRun",
+]

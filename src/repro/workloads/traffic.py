@@ -1,0 +1,81 @@
+"""Shared traffic machinery: popularity models and flow generators."""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+
+class PopularityModel:
+    """Zipf-weighted destination popularity over a candidate list.
+
+    Campus traffic concentrates on a few servers — the skew is what makes
+    a reactive cache effective (a handful of popular destinations account
+    for most resolutions, so edge caches stay small relative to the full
+    endpoint population).
+    """
+
+    def __init__(self, candidates, rng, skew=1.0):
+        if not candidates:
+            raise ConfigurationError("popularity model needs candidates")
+        self._candidates = list(candidates)
+        self._weights = rng.zipf_weights(len(self._candidates), skew=skew)
+        self._rng = rng
+
+    def pick(self):
+        return self._candidates[self._rng.weighted_index(self._weights)]
+
+    def __len__(self):
+        return len(self._candidates)
+
+
+class FlowGenerator:
+    """Per-endpoint flow initiation loop with exponential inter-arrivals.
+
+    The loop self-schedules while ``active``; the owner toggles activity
+    on attach/detach.  ``fire(endpoint)`` is supplied by the workload and
+    performs one flow (destination choice + packet injection).
+    """
+
+    def __init__(self, sim, endpoint, rate_fn, fire, rng):
+        """``rate_fn() -> flows per second right now`` (diurnal rates)."""
+        self.sim = sim
+        self.endpoint = endpoint
+        self.rate_fn = rate_fn
+        self.fire = fire
+        self.rng = rng
+        self.active = False
+        self._event = None
+        self.flows_fired = 0
+
+    def start(self):
+        if self.active:
+            return
+        self.active = True
+        self._schedule_next()
+
+    def stop(self):
+        self.active = False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _schedule_next(self):
+        rate = self.rate_fn()
+        if rate <= 0:
+            # Quiescent: re-check in a while (cheap poll, avoids a busy loop).
+            self._event = self.sim.schedule(600.0, self._tick_idle)
+            return
+        gap = self.rng.expovariate(rate)
+        self._event = self.sim.schedule(gap, self._tick)
+
+    def _tick_idle(self):
+        if self.active:
+            self._schedule_next()
+
+    def _tick(self):
+        if not self.active:
+            return
+        self.flows_fired += 1
+        self.fire(self.endpoint)
+        if self.active:
+            self._schedule_next()

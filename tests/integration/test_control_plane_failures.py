@@ -1,0 +1,78 @@
+"""Integration: control-plane failure handling (retries and failover).
+
+Not in the paper's evaluation, but implied by its operational posture:
+the default route keeps data flowing while resolution struggles, and a
+clustered routing server (sec. 4.1) gives edges somewhere else to ask.
+"""
+
+import pytest
+
+from repro.fabric import FabricConfig, FabricNetwork
+from tests.conftest import admit_and_settle
+
+
+@pytest.fixture
+def cluster():
+    net = FabricNetwork(FabricConfig(num_borders=1, num_edges=4,
+                                     num_routing_servers=2, seed=19))
+    net.define_vn("corp", 100, "10.1.0.0/16")
+    net.define_group("users", 1, 100)
+    a = net.create_endpoint("a", "users", 100)
+    b = net.create_endpoint("b", "users", 100)
+    admit_and_settle(net, a, 0)
+    admit_and_settle(net, b, 3)
+    return net, a, b
+
+
+def test_retry_fails_over_to_second_server(cluster):
+    net, a, b = cluster
+    # Edge 0's assigned request server is server 0; kill it.
+    dead = net.routing_servers[0]
+    net.underlay.detach(dead.rloc)
+    net.settle()
+
+    net.send(a, b.ip)
+    # Let the retry timer fire and the failover request complete.
+    net.run_for(3.0)
+    net.settle()
+    assert net.edges[0].counters.map_request_retries_sent >= 1
+    # The second server answered; the mapping is cached now.
+    entry = net.edges[0].map_cache.lookup(a.vn, b.ip)
+    assert entry is not None and not entry.negative
+
+    # And traffic flows directly once resolved.
+    before = b.packets_received
+    net.send(a, b.ip)
+    net.settle()
+    assert b.packets_received == before + 1
+
+
+def test_traffic_survives_resolution_outage_via_border(cluster):
+    """With ALL servers down, the default route still delivers, because
+    the border's synced FIB predates the outage."""
+    net, a, b = cluster
+    for server in net.routing_servers:
+        net.underlay.detach(server.rloc)
+    net.settle()
+
+    net.send(a, b.ip)
+    net.run_for(5.0)   # retries exhaust
+    net.settle()
+    assert b.packets_received == 1   # delivered via the border
+    assert net.edges[0].counters.map_request_timeouts >= 1
+    # The edge holds no mapping; the next packet re-resolves (and rides
+    # the border again).
+    assert net.edges[0].map_cache.lookup(a.vn, b.ip) is None
+    net.send(a, b.ip)
+    net.run_for(5.0)
+    net.settle()
+    assert b.packets_received == 2
+
+
+def test_retry_not_triggered_when_reply_arrives(cluster):
+    net, a, b = cluster
+    net.send(a, b.ip)
+    net.run_for(5.0)
+    net.settle()
+    assert net.edges[0].counters.map_request_retries_sent == 0
+    assert net.edges[0].counters.map_request_timeouts == 0

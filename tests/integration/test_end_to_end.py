@@ -1,0 +1,147 @@
+"""Integration: full-system flows across control + data + policy planes."""
+
+import pytest
+
+from repro.fabric import FabricConfig, FabricNetwork
+from tests.conftest import admit_and_settle
+
+
+@pytest.fixture
+def hospital():
+    """The paper's sec. 3.2.1 example: doctors / guests / medical devices
+    in strongly isolated VNs, with micro-segmentation inside."""
+    net = FabricNetwork(FabricConfig(num_borders=2, num_edges=6, seed=23))
+    net.define_vn("clinical", 100, "10.10.0.0/16")
+    net.define_vn("guest", 200, "10.20.0.0/16")
+    net.define_group("doctors", 1, 100)
+    net.define_group("mri", 2, 100)
+    net.define_group("visitors", 3, 200)
+    net.allow("doctors", "mri")
+    return net
+
+
+def test_hospital_segmentation(hospital):
+    net = hospital
+    doctor = net.create_endpoint("dr-grey", "doctors", 100)
+    mri = net.create_endpoint("mri-1", "mri", 100)
+    visitor = net.create_endpoint("guest-1", "visitors", 200)
+    admit_and_settle(net, doctor, 0)
+    admit_and_settle(net, mri, 3)
+    admit_and_settle(net, visitor, 5)
+
+    # Doctor reaches the MRI (allowed, cross-edge).
+    net.send(doctor, mri)
+    net.settle()
+    net.send(doctor, mri)
+    net.settle()
+    assert mri.packets_received == 2
+
+    # Visitor cannot reach the MRI: different VN, not even resolvable.
+    net.send(visitor, mri.ip)
+    net.settle()
+    net.send(visitor, mri.ip)
+    net.settle()
+    assert mri.packets_received == 2
+
+
+def test_full_lifecycle_join_move_leave(hospital):
+    net = hospital
+    doctor = net.create_endpoint("dr-yang", "doctors", 100)
+    mri = net.create_endpoint("mri-2", "mri", 100)
+    admit_and_settle(net, doctor, 0)
+    admit_and_settle(net, mri, 1)
+
+    # join -> talk
+    net.send(doctor, mri)
+    net.settle()
+    assert mri.packets_received == 1
+
+    # move across 3 edges, talking at every stop
+    for target in (2, 4, 5):
+        net.roam(doctor, target)
+        net.settle()
+        net.send(doctor, mri)
+        net.settle()
+    assert mri.packets_received == 4
+    assert net.routing_server.stats.mobility_registers >= 3
+
+    # leave -> state withdrawn everywhere
+    net.depart(doctor)
+    net.settle()
+    assert net.routing_server.database.lookup(doctor.vn, doctor.ip) is None
+    for border in net.borders:
+        assert border.synced.lookup(doctor.vn, doctor.ip) is None
+
+
+def test_bidirectional_conversation(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    for _ in range(3):
+        net.send(alice, bob)
+        net.settle()
+        net.send(bob, alice)
+        net.settle()
+    assert bob.packets_received == 3
+    assert alice.packets_received == 3
+    # Both edges ended with a single cache entry for the peer.
+    assert net.edges[0].fib_occupancy() == 1
+    assert net.edges[1].fib_occupancy() == 1
+
+
+def test_cache_ttl_expiry_forces_new_resolution():
+    net = FabricNetwork(FabricConfig(num_borders=1, num_edges=2,
+                                     map_cache_ttl=10.0, seed=29))
+    net.define_vn("corp", 100, "10.1.0.0/16")
+    net.define_group("users", 1, 100)
+    a = net.create_endpoint("a", "users", 100)
+    b = net.create_endpoint("b", "users", 100)
+    admit_and_settle(net, a, 0)
+    admit_and_settle(net, b, 1)
+
+    net.send(a, b)
+    net.settle()
+    requests_before = net.routing_server.stats.requests
+    net.run_for(60.0)   # TTL (10s) expires
+    net.send(a, b)
+    net.settle()
+    assert net.routing_server.stats.requests > requests_before
+    assert b.packets_received == 2
+
+
+def test_group_move_changes_effective_policy(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    # employees -> printers allowed: works.
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received == 1
+    # Move the printer into the cameras group: no allow rule from
+    # employees to cameras, so the path closes after re-auth.
+    net.move_endpoint_group(printer, "cameras")
+    net.settle()
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received == 1
+
+
+def test_many_endpoints_reactive_state_stays_bounded():
+    """Edges only cache what they talk to: 2 talkers on 30 endpoints."""
+    net = FabricNetwork(FabricConfig(num_borders=1, num_edges=3, seed=31))
+    net.define_vn("corp", 100, "10.1.0.0/16")
+    net.define_group("users", 1, 100)
+    endpoints = []
+    for index in range(30):
+        endpoint = net.create_endpoint("ep-%d" % index, "users", 100)
+        net.admit(endpoint, index % 3)
+        endpoints.append(endpoint)
+    net.settle(max_time=120.0)
+    assert all(e.onboarded for e in endpoints)
+
+    # One conversation pair only.
+    talker = endpoints[0]
+    peer = endpoints[1] if endpoints[1].edge is not endpoints[0].edge else endpoints[2]
+    net.send(talker, peer)
+    net.settle()
+
+    border_fib = net.borders[0].fib_occupancy()
+    edge_fib = sum(edge.fib_occupancy() for edge in net.edges)
+    assert border_fib == 30          # border mirrors everything
+    assert edge_fib <= 2             # edges cache only the active flow

@@ -1,0 +1,83 @@
+"""Integration: sec. 5.1 — underlay outage fallback.
+
+Edge routers monitor the IGP's address announcements; when a remote edge's
+RLOC stops being announced, they delete the overlay routes pointing at it
+and fall back to the border default, until a new registration appears.
+"""
+
+from tests.conftest import admit_and_settle
+
+
+def _warm_path(net, src, dst):
+    net.send(src, dst)
+    net.settle()
+    net.send(src, dst)
+    net.settle()
+
+
+def test_edge_node_failure_invalidates_routes(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    _warm_path(net, alice, printer)
+    alice_edge = alice.edge
+    printer_edge = printer.edge
+    assert alice_edge.map_cache.occupancy() >= 1
+
+    # Fail the topology node under the printer's edge.
+    net.igp.node_down(printer_edge.node)
+    net.settle()
+
+    # Sec. 5.1: the IGP withdrawal removed the route from alice's edge.
+    entry = alice_edge.map_cache.lookup(alice.vn, printer.ip)
+    assert entry is None
+    assert alice_edge.counters.unreachable_fallbacks >= 1
+
+
+def test_traffic_falls_back_to_border_during_outage(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    _warm_path(net, alice, printer)
+    printer_edge = printer.edge
+    before = alice.edge.counters.to_border_default
+
+    net.igp.node_down(printer_edge.node)
+    net.settle()
+
+    # Traffic to the (unreachable) printer now uses the default route.
+    net.send(alice, printer)
+    net.settle()
+    assert alice.edge.counters.to_border_default > before
+
+
+def test_recovery_after_reattachment(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    _warm_path(net, alice, printer)
+    printer_edge = printer.edge
+
+    net.igp.node_down(printer_edge.node)
+    net.settle()
+    # The endpoint re-attaches at a healthy edge (a new registration
+    # appears in the routing server, as sec. 5.1 describes).
+    printer_edge.detach_endpoint(printer)
+    net.edges[3].attach_endpoint(printer)
+    net.settle()
+
+    net.send(alice, printer)
+    net.settle()
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received >= 1
+    entry = alice.edge.map_cache.lookup(alice.vn, printer.ip)
+    assert entry is not None and entry.rloc == net.edges[3].rloc
+
+
+def test_link_failure_with_ecmp_survives(populated_fabric):
+    """Losing one spine link must not partition a two-spine fabric."""
+    net, alice, bob, printer = populated_fabric
+    _warm_path(net, alice, printer)
+    # Fail one of the two uplinks of the printer's leaf.
+    printer_node = printer.edge.node
+    net.igp.link_down(printer_node, "spine-0")
+    net.settle()
+    before = printer.packets_received
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received == before + 1

@@ -1,0 +1,77 @@
+"""Property-based tests for address parsing and prefix algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, IPv6Address, MacAddress, Prefix
+
+v4_ints = st.integers(min_value=0, max_value=(1 << 32) - 1)
+v6_ints = st.integers(min_value=0, max_value=(1 << 128) - 1)
+mac_ints = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+@given(v4_ints)
+def test_ipv4_str_parse_roundtrip(value):
+    addr = IPv4Address(value)
+    assert IPv4Address.parse(str(addr)) == addr
+
+
+@given(v6_ints)
+@settings(max_examples=300)
+def test_ipv6_str_parse_roundtrip(value):
+    addr = IPv6Address(value)
+    assert IPv6Address.parse(str(addr)) == addr
+
+
+@given(mac_ints)
+def test_mac_str_parse_roundtrip(value):
+    addr = MacAddress(value)
+    assert MacAddress.parse(str(addr)) == addr
+
+
+@given(v4_ints)
+def test_ipv4_bytes_roundtrip(value):
+    addr = IPv4Address(value)
+    assert IPv4Address.from_bytes(addr.to_bytes()) == addr
+
+
+@given(v4_ints, st.integers(min_value=0, max_value=32))
+def test_prefix_contains_own_address(value, length):
+    prefix = Prefix(IPv4Address(value), length)
+    assert prefix.contains(prefix.address)
+
+
+@given(v4_ints, st.integers(min_value=0, max_value=32))
+def test_prefix_canonical_idempotent(value, length):
+    prefix = Prefix(IPv4Address(value), length)
+    again = Prefix(prefix.address, prefix.length)
+    assert prefix == again and hash(prefix) == hash(again)
+
+
+@given(v4_ints, st.integers(min_value=0, max_value=32),
+       st.integers(min_value=0, max_value=32))
+def test_prefix_containment_is_antisymmetric_on_length(value, len_a, len_b):
+    """If A strictly contains B (shorter length), B cannot contain A."""
+    a = Prefix(IPv4Address(value), min(len_a, len_b))
+    b = Prefix(IPv4Address(value), max(len_a, len_b))
+    assert a.contains(b)
+    if a.length != b.length:
+        assert not b.contains(a)
+
+
+@given(v4_ints)
+def test_address_bit_reconstruction(value):
+    addr = IPv4Address(value)
+    rebuilt = 0
+    for index in range(32):
+        rebuilt = (rebuilt << 1) | addr.bit(index)
+    assert rebuilt == value
+
+
+@given(v4_ints)
+def test_host_prefix_contains_only_itself(value):
+    addr = IPv4Address(value)
+    prefix = addr.to_prefix()
+    assert prefix.contains(addr)
+    other = IPv4Address(value ^ 1)
+    assert not prefix.contains(other)

@@ -1,0 +1,85 @@
+"""Stateful property test: the mapping database against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import VNId
+from repro.lisp.records import MappingDatabase, MappingRecord
+from repro.net.addresses import IPv4Address, Prefix
+
+hosts = st.integers(min_value=0, max_value=50)
+vns = st.integers(min_value=1, max_value=3)
+rlocs = st.integers(min_value=1, max_value=5)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("register"), vns, hosts, rlocs),
+        st.tuples(st.just("unregister"), vns, hosts, rlocs),
+        st.tuples(st.just("unregister_any"), vns, hosts, st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+def _eid(host):
+    return Prefix(IPv4Address(0x0A000000 + host), 32)
+
+
+def _rloc(index):
+    return IPv4Address(0xC0A80000 + index)
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_database_matches_dict_model(ops):
+    db = MappingDatabase()
+    model = {}   # (vn, host) -> rloc index
+    for op in ops:
+        kind, vn, host, rloc = op
+        key = (vn, host)
+        if kind == "register":
+            db.register(MappingRecord(VNId(vn), _eid(host), _rloc(rloc)))
+            model[key] = rloc
+        elif kind == "unregister":
+            # Guarded removal: only if the model still points at rloc.
+            removed = db.unregister(VNId(vn), _eid(host), rloc=_rloc(rloc))
+            if model.get(key) == rloc:
+                assert removed is not None
+                del model[key]
+            else:
+                assert removed is None
+        else:  # unconditional removal
+            removed = db.unregister(VNId(vn), _eid(host))
+            if key in model:
+                assert removed is not None
+                del model[key]
+            else:
+                assert removed is None
+
+    assert len(db) == len(model)
+    for (vn, host), rloc in model.items():
+        record = db.lookup(VNId(vn), IPv4Address(0x0A000000 + host))
+        assert record is not None
+        assert record.rloc == _rloc(rloc)
+    # Negative space: everything absent in the model is absent in the db.
+    for vn in (1, 2, 3):
+        for host in range(0, 51, 7):
+            if (vn, host) not in model:
+                assert db.lookup(VNId(vn), IPv4Address(0x0A000000 + host)) is None
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_version_never_decreases(ops):
+    db = MappingDatabase()
+    last_version = {}
+    for op in ops:
+        kind, vn, host, rloc = op
+        if kind != "register":
+            continue
+        db.register(MappingRecord(VNId(vn), _eid(host), _rloc(rloc)))
+        record = db.lookup_exact(VNId(vn), _eid(host))
+        key = (vn, host)
+        if key in last_version:
+            assert record.version > last_version[key]
+        last_version[key] = record.version

@@ -1,0 +1,76 @@
+"""Property-based tests for policy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import GroupId
+from repro.policy import ConnectivityMatrix, GroupAcl
+from repro.policy.matrix import PolicyAction
+
+group_ids = st.integers(min_value=0, max_value=200)
+actions = st.sampled_from([PolicyAction.ALLOW, PolicyAction.DENY])
+rule_sets = st.lists(st.tuples(group_ids, group_ids, actions), max_size=60)
+
+
+@given(rule_sets, group_ids, group_ids)
+@settings(max_examples=200)
+def test_last_write_wins(rules, src, dst):
+    """The matrix answer equals the last rule written for that pair."""
+    matrix = ConnectivityMatrix()
+    expected = None
+    for rule_src, rule_dst, action in rules:
+        matrix.set_rule(GroupId(rule_src), GroupId(rule_dst), action)
+        if (rule_src, rule_dst) == (src, dst):
+            expected = action
+    if expected is None:
+        expected = (PolicyAction.ALLOW if src == dst else matrix.default_action)
+    assert matrix.action_for(GroupId(src), GroupId(dst)) == expected
+
+
+@given(rule_sets)
+@settings(max_examples=200)
+def test_acl_agrees_with_matrix(rules):
+    """A fully programmed ACL answers exactly like the matrix."""
+    matrix = ConnectivityMatrix()
+    for src, dst, action in rules:
+        matrix.set_rule(GroupId(src), GroupId(dst), action)
+    acl = GroupAcl()
+    acl.program(matrix.rules())
+    for src, dst, _ in rules:
+        assert acl.evaluate(GroupId(src), GroupId(dst)) == \
+            matrix.action_for(GroupId(src), GroupId(dst))
+
+
+@given(rule_sets)
+@settings(max_examples=100)
+def test_destination_slices_partition_rules(rules):
+    """Every rule appears in exactly one destination slice."""
+    matrix = ConnectivityMatrix()
+    for src, dst, action in rules:
+        matrix.set_rule(GroupId(src), GroupId(dst), action)
+    total = 0
+    for group in matrix.groups_in_rules():
+        total += len(matrix.rules_for_destination(GroupId(group)))
+    assert total == len(matrix)
+
+
+@given(rule_sets)
+@settings(max_examples=100)
+def test_version_monotone(rules):
+    matrix = ConnectivityMatrix()
+    last = matrix.version
+    for src, dst, action in rules:
+        matrix.set_rule(GroupId(src), GroupId(dst), action)
+        assert matrix.version > last
+        last = matrix.version
+
+
+@given(st.lists(st.tuples(group_ids, group_ids), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_drop_counter_bounded_by_hits(pairs):
+    acl = GroupAcl()
+    for src, dst in pairs:
+        acl.evaluate(GroupId(src), GroupId(dst))
+    assert acl.hits == len(pairs)
+    assert 0 <= acl.drops <= acl.hits
+    assert 0.0 <= acl.drop_permille <= 1000.0

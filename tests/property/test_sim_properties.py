@@ -1,0 +1,62 @@
+"""Property-based tests for simulator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lisp import MapCache
+from repro.net.addresses import IPv4Address
+from repro.core.types import VNId
+from repro.sim import Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                            allow_nan=False, allow_infinity=False),
+                  max_size=80)
+
+
+@given(delays)
+@settings(max_examples=200)
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    sim = Simulator()
+    fired = []
+    for delay in delay_list:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1000.0))
+@settings(max_examples=200)
+def test_run_until_is_a_clean_split(delay_list, cut):
+    """run(until=t) then run() processes the same set as one run()."""
+    sim_a = Simulator()
+    fired_a = []
+    for delay in delay_list:
+        sim_a.schedule(delay, fired_a.append, delay)
+    sim_a.run(until=cut)
+    early = list(fired_a)
+    assert all(d <= cut for d in early)
+    sim_a.run()
+    sim_b = Simulator()
+    fired_b = []
+    for delay in delay_list:
+        sim_b.schedule(delay, fired_b.append, delay)
+    sim_b.run()
+    assert sorted(fired_a) == sorted(fired_b)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2000),
+                          st.floats(min_value=0.1, max_value=100.0)),
+                max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_mapcache_occupancy_equals_len(entries):
+    """len(cache) and occupancy() always agree (both count live+positive)."""
+    sim = Simulator()
+    cache = MapCache(sim, default_ttl=50.0)
+    vn = VNId(1)
+    for host, ttl in entries:
+        cache.install(vn, IPv4Address(host).to_prefix(),
+                      IPv4Address.parse("192.168.0.1"), ttl=ttl)
+    assert len(cache) == cache.occupancy()
+    distinct = len({host for host, _ in entries})
+    assert len(cache) == distinct

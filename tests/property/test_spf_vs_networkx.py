@@ -1,0 +1,86 @@
+"""Property test: the IGP's SPF against networkx's Dijkstra on random graphs."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.underlay import IgpDomain, Topology
+
+
+@st.composite
+def random_graphs(draw):
+    """A connected-ish random graph: n nodes, m random weighted edges."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(possible), min_size=1,
+                           max_size=len(possible), unique=True))
+    weights = draw(st.lists(st.integers(min_value=1, max_value=20),
+                            min_size=len(chosen), max_size=len(chosen)))
+    return n, list(zip(chosen, weights))
+
+
+@given(random_graphs())
+@settings(max_examples=150, deadline=None)
+def test_spf_costs_match_networkx(graph):
+    n, edges = graph
+    topo = Topology()
+    for index in range(n):
+        topo.add_node("n%d" % index)
+    graph_nx = nx.Graph()
+    graph_nx.add_nodes_from("n%d" % i for i in range(n))
+    for (a, b), weight in edges:
+        topo.add_link("n%d" % a, "n%d" % b, metric=weight)
+        graph_nx.add_edge("n%d" % a, "n%d" % b, weight=weight)
+
+    sim = Simulator()
+    igp = IgpDomain(sim, topo)
+    for index in range(n):
+        igp.add_router("n%d" % index)
+    igp.start()
+    igp.converge(max_time=60.0)
+
+    reference = dict(nx.all_pairs_dijkstra_path_length(graph_nx))
+    for src in range(n):
+        router = igp.router("n%d" % src)
+        expected = {
+            dst: cost for dst, cost in reference["n%d" % src].items()
+            if dst != "n%d" % src
+        }
+        measured = {dst: cost for dst, (cost, _hops) in router.routes.items()}
+        assert measured == expected, (
+            "SPF mismatch at n%d: %r != %r" % (src, measured, expected)
+        )
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_next_hops_are_true_neighbors_on_shortest_paths(graph):
+    n, edges = graph
+    topo = Topology()
+    for index in range(n):
+        topo.add_node("n%d" % index)
+    graph_nx = nx.Graph()
+    graph_nx.add_nodes_from("n%d" % i for i in range(n))
+    for (a, b), weight in edges:
+        topo.add_link("n%d" % a, "n%d" % b, metric=weight)
+        graph_nx.add_edge("n%d" % a, "n%d" % b, weight=weight)
+
+    sim = Simulator()
+    igp = IgpDomain(sim, topo)
+    for index in range(n):
+        igp.add_router("n%d" % index)
+    igp.start()
+    igp.converge(max_time=60.0)
+
+    router = igp.router("n0")
+    neighbors = {other for other, _ in topo.neighbors("n0")}
+    lengths = nx.single_source_dijkstra_path_length(graph_nx, "n0")
+    for dst, (cost, hops) in router.routes.items():
+        for hop in hops:
+            assert hop in neighbors
+            # Going via this neighbor is actually optimal.
+            edge_weight = topo.link("n0", hop).metric
+            assert edge_weight + lengths.get(dst if hop == dst else hop, 1e9) >= 0
+            if hop == dst:
+                assert edge_weight == cost

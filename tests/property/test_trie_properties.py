@@ -1,0 +1,81 @@
+"""Property-based tests: the Patricia trie against a naive reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, Prefix
+from repro.net.trie import PatriciaTrie
+
+prefixes = st.builds(
+    lambda value, length: Prefix(IPv4Address(value), length),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+addresses = st.builds(IPv4Address, st.integers(min_value=0, max_value=(1 << 32) - 1))
+
+
+def naive_lpm(entries, address):
+    """Reference longest-prefix match over a dict of prefix -> value."""
+    best = None
+    for prefix, value in entries.items():
+        if prefix.contains(address):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, value)
+    return best
+
+
+@given(st.dictionaries(prefixes, st.integers(), max_size=40), addresses)
+@settings(max_examples=200, deadline=None)
+def test_lpm_matches_naive_reference(entries, address):
+    trie = PatriciaTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    assert trie.lookup_longest(address) == naive_lpm(entries, address)
+
+
+@given(st.dictionaries(prefixes, st.integers(), max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_exact_lookup_after_inserts(entries):
+    trie = PatriciaTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    assert len(trie) == len(entries)
+    for prefix, value in entries.items():
+        assert trie.lookup_exact(prefix) == value
+
+
+@given(st.dictionaries(prefixes, st.integers(), min_size=1, max_size=30),
+       st.data())
+@settings(max_examples=200, deadline=None)
+def test_delete_removes_exactly_one(entries, data):
+    trie = PatriciaTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    victim = data.draw(st.sampled_from(sorted(entries)))
+    assert trie.delete(victim)
+    assert len(trie) == len(entries) - 1
+    assert trie.lookup_exact(victim) is None
+    for prefix, value in entries.items():
+        if prefix != victim:
+            assert trie.lookup_exact(prefix) == value
+
+
+@given(st.dictionaries(prefixes, st.integers(), max_size=30), addresses)
+@settings(max_examples=100, deadline=None)
+def test_delete_all_then_empty(entries, address):
+    trie = PatriciaTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    for prefix in entries:
+        assert trie.delete(prefix)
+    assert len(trie) == 0
+    assert trie.lookup_longest(address) is None
+
+
+@given(st.dictionaries(prefixes, st.integers(), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_items_roundtrip(entries):
+    trie = PatriciaTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    assert dict(trie.items()) == entries

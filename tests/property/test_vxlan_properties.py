@@ -1,0 +1,39 @@
+"""Property-based tests for the VXLAN-GPO wire codec."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import GroupId, VNId
+from repro.net.vxlan import VxlanGpoHeader
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 24) - 1),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+    st.booleans(),
+    st.booleans(),
+)
+def test_encode_decode_roundtrip(vni, group, applied, dont_learn):
+    header = VxlanGpoHeader(VNId(vni), GroupId(group),
+                            policy_applied=applied, dont_learn=dont_learn)
+    decoded = VxlanGpoHeader.decode(header.encode())
+    assert decoded == header
+    assert int(decoded.vni) == vni
+    assert int(decoded.group) == group
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 24) - 1),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_wire_size_constant(vni, group):
+    assert len(VxlanGpoHeader(vni, group).encode()) == VxlanGpoHeader.WIRE_SIZE
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 24) - 1),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_reserved_byte_zero(vni, group):
+    data = VxlanGpoHeader(vni, group).encode()
+    assert data[7] == 0   # low byte of the VNI word is reserved

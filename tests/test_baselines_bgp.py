@@ -1,0 +1,136 @@
+"""Unit tests for the proactive BGP baseline."""
+
+import pytest
+
+from repro.baselines.bgp import BgpPeer, BgpRouteReflector
+from repro.core.errors import ConfigurationError
+from repro.core.types import VNId
+from repro.net.addresses import IPv4Address, Prefix
+from repro.underlay import Topology, UnderlayNetwork
+
+VN = VNId(7)
+
+
+@pytest.fixture
+def bgp_net(sim):
+    topo, spines, leaves = Topology.two_tier(2, 4)
+    net = UnderlayNetwork(sim, topo)
+    reflector = BgpRouteReflector(
+        sim, net, rloc=IPv4Address.parse("192.168.255.10"), node=spines[0],
+        per_peer_service_s=10e-6,
+    )
+    peers = [
+        BgpPeer(sim, "peer-%d" % i, IPv4Address(0xC0A80001 + i), leaves[i],
+                net, reflector)
+        for i in range(4)
+    ]
+    return net, reflector, peers
+
+
+def _eid(text="10.0.0.5/32"):
+    return Prefix.parse(text)
+
+
+def test_advertisement_fans_out_to_all_other_peers(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    peers[0].advertise(VN, _eid())
+    sim.run()
+    assert reflector.advertisements_received == 1
+    assert reflector.updates_pushed == 3   # everyone but the originator
+    for peer in peers[1:]:
+        assert peer.route_for(VN, _eid()) == peers[0].rloc
+    assert peers[0].route_for(VN, _eid()) is None
+
+
+def test_update_replaces_older_sequence(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    peers[0].advertise(VN, _eid())
+    sim.run()
+    peers[1].advertise(VN, _eid())
+    sim.run()
+    assert peers[2].route_for(VN, _eid()) == peers[1].rloc
+
+
+def test_withdrawal(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    peers[0].advertise(VN, _eid())
+    sim.run()
+    peers[0].advertise(VN, _eid(), withdrawn=True)
+    sim.run()
+    assert peers[1].route_for(VN, _eid()) is None
+
+
+def test_interest_filter_limits_storage_not_timing(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    interested = Prefix.parse("10.0.0.1/32")
+    other = Prefix.parse("10.0.0.2/32")
+    filtered = BgpPeer(sim, "filtered", IPv4Address(0xC0A80099), "leaf-0",
+                       net, reflector, interest={interested})
+    peers[0].advertise(VN, interested)
+    peers[0].advertise(VN, other)
+    sim.run()
+    assert filtered.route_for(VN, interested) == peers[0].rloc
+    assert filtered.route_for(VN, other) is None
+    assert filtered.updates_received == 2   # both transited
+
+
+def test_fanout_serialization_orders_peers(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    arrival_times = {}
+    for peer in peers[1:]:
+        peer.on_update = (
+            lambda vn, eid, rloc, t, name=peer.name: arrival_times.setdefault(name, t)
+        )
+    peers[0].advertise(VN, _eid())
+    sim.run()
+    times = sorted(arrival_times.values())
+    assert len(times) == 3
+    # Strictly increasing: the control CPU pushed them one at a time.
+    assert times[0] < times[1] < times[2]
+
+
+def test_backlog_grows_with_burst(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    for index in range(50):
+        peers[0].advertise(VN, Prefix.parse("10.0.%d.1/32" % index))
+    sim.run()
+    assert reflector.max_backlog_s > 10 * 10e-6
+
+
+def test_batching_delays_to_flush_ticks(sim):
+    topo, spines, leaves = Topology.two_tier(2, 2)
+    net = UnderlayNetwork(sim, topo)
+    reflector = BgpRouteReflector(
+        sim, net, rloc=IPv4Address.parse("192.168.255.10"), node=spines[0],
+        per_peer_service_s=1e-6, batch_interval_s=10e-3,
+    )
+    sender = BgpPeer(sim, "s", IPv4Address(0xC0A80001), leaves[0], net, reflector)
+    arrivals = []
+    receiver = BgpPeer(sim, "r", IPv4Address(0xC0A80002), leaves[1], net,
+                       reflector, on_update=lambda *a: arrivals.append(sim.now))
+    sender.advertise(VN, _eid())
+    sim.run()
+    # Arrival waits for the receiver's flush tick, not just serialization.
+    assert arrivals and arrivals[0] >= 1e-6
+
+
+def test_duplicate_peer_rejected(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    with pytest.raises(ConfigurationError):
+        reflector.add_peer(peers[0].rloc)
+
+
+def test_stale_sequence_ignored_by_peer(sim, bgp_net):
+    net, reflector, peers = bgp_net
+    peers[0].advertise(VN, _eid())
+    sim.run()
+    peers[1].advertise(VN, _eid())
+    sim.run()
+    # Manually replay an old update: must not regress the table.
+    from repro.baselines.bgp import BgpUpdate
+    from repro.lisp.messages import control_packet
+    stale = BgpUpdate(VN, _eid(), peers[0].rloc, sequence=1)
+    net.send(reflector.rloc, peers[2].rloc,
+             control_packet(reflector.rloc, peers[2].rloc, stale))
+    sim.run()
+    assert peers[2].route_for(VN, _eid()) == peers[1].rloc

@@ -1,0 +1,60 @@
+"""Unit tests for core identifier types."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DEFAULT_VN,
+    GroupId,
+    UNKNOWN_GROUP,
+    VNId,
+)
+from repro.core.types import MAX_GROUP, MAX_VN
+
+
+class TestVNId:
+    def test_range(self):
+        assert int(VNId(0)) == 0
+        assert int(VNId(MAX_VN)) == MAX_VN
+        with pytest.raises(ConfigurationError):
+            VNId(MAX_VN + 1)
+        with pytest.raises(ConfigurationError):
+            VNId(-1)
+
+    def test_equality_with_int(self):
+        assert VNId(5) == 5
+        assert VNId(5) == VNId(5)
+        assert VNId(5) != VNId(6)
+
+    def test_ordering(self):
+        assert VNId(1) < VNId(2)
+        assert VNId(3) < 4
+
+    def test_hashable_and_type_distinct(self):
+        # A VNId(5) and GroupId(5) must not collide as dict keys.
+        table = {VNId(5): "vn", GroupId(5): "group"}
+        assert table[VNId(5)] == "vn"
+        assert table[GroupId(5)] == "group"
+
+    def test_immutable(self):
+        vn = VNId(5)
+        with pytest.raises(AttributeError):
+            vn.value = 6
+
+    def test_index_protocol(self):
+        assert list(range(10))[VNId(3)] == 3
+
+
+class TestGroupId:
+    def test_range(self):
+        assert int(GroupId(MAX_GROUP)) == MAX_GROUP
+        with pytest.raises(ConfigurationError):
+            GroupId(MAX_GROUP + 1)
+
+    def test_repr(self):
+        assert repr(GroupId(7)) == "GroupId(7)"
+
+
+def test_well_known_values():
+    assert int(DEFAULT_VN) == 1
+    assert int(UNKNOWN_GROUP) == 0

@@ -1,0 +1,91 @@
+"""Unit tests for ECMP path selection."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net.addresses import IPv4Address
+from repro.net.packet import make_udp_packet
+from repro.net.vxlan import encapsulate
+from repro.underlay.ecmp import EcmpSelector, flow_key
+
+
+def _packet(src="10.0.0.1", dst="10.0.0.2", sport=100, dport=200):
+    return make_udp_packet(IPv4Address.parse(src), IPv4Address.parse(dst),
+                           sport, dport)
+
+
+def test_needs_paths():
+    with pytest.raises(ConfigurationError):
+        EcmpSelector([])
+
+
+def test_selection_is_deterministic_per_flow():
+    selector = EcmpSelector(["spine-0", "spine-1"])
+    packet = _packet()
+    picks = {selector.select(packet) for _ in range(10)}
+    assert len(picks) == 1
+
+
+def test_distinct_flows_spread_over_paths():
+    selector = EcmpSelector(["spine-0", "spine-1", "spine-2", "spine-3"])
+    keys = ["flow-%d" % i for i in range(2000)]
+    counts = selector.distribution(keys)
+    # Roughly even: each path gets 25% +- 8 points.
+    for path, count in counts.items():
+        assert 0.17 <= count / 2000 <= 0.33, counts
+
+
+def test_vxlan_entropy_port_differentiates_inner_flows():
+    """Two inner flows between the same edges take different underlay
+    paths thanks to the entropy source port."""
+    selector = EcmpSelector(["spine-%d" % i for i in range(8)])
+    outer_src = IPv4Address.parse("192.168.0.1")
+    outer_dst = IPv4Address.parse("192.168.0.2")
+    picks = set()
+    for host in range(32):
+        inner = _packet(dst="10.0.1.%d" % host)
+        encapsulate(inner, outer_src, outer_dst, 100, 1)
+        picks.add(selector.select(inner))
+    assert len(picks) >= 3   # spread despite identical outer IP pair
+
+
+def test_remove_path_moves_only_orphaned_flows():
+    """The rendezvous-hashing stability property."""
+    selector = EcmpSelector(["a", "b", "c", "d"])
+    keys = ["flow-%d" % i for i in range(500)]
+    before = {key: selector.select_by_key(key) for key in keys}
+    selector.remove_path("c")
+    after = {key: selector.select_by_key(key) for key in keys}
+    for key in keys:
+        if before[key] != "c":
+            assert after[key] == before[key]
+        else:
+            assert after[key] in ("a", "b", "d")
+
+
+def test_add_path_takes_share():
+    selector = EcmpSelector(["a", "b"])
+    selector.add_path("c")
+    counts = selector.distribution(["flow-%d" % i for i in range(900)])
+    assert counts["c"] > 150
+
+
+def test_path_management_errors():
+    selector = EcmpSelector(["a"])
+    with pytest.raises(ConfigurationError):
+        selector.remove_path("ghost")
+    with pytest.raises(ConfigurationError):
+        selector.remove_path("a")   # cannot remove the last one
+    with pytest.raises(ConfigurationError):
+        selector.add_path("a")
+
+
+def test_flow_key_includes_ports():
+    a = flow_key(_packet(sport=1))
+    b = flow_key(_packet(sport=2))
+    assert a != b
+
+
+def test_flow_key_no_ip():
+    from repro.net.packet import Packet
+    assert flow_key(Packet()) == b"no-ip"

@@ -1,0 +1,41 @@
+"""Tests for the ablation experiment modules (small parameterizations)."""
+
+from repro.experiments.initial_delay import run_ablation as run_initial_delay
+from repro.experiments.policy_update import run_comparison
+from repro.experiments.wlc_ablation import run_path_stretch
+
+
+class TestInitialDelay:
+    def test_default_route_mode_lossless(self):
+        results = run_initial_delay(num_pairs=6, packets_per_flow=3)
+        assert results["default-route"]["loss_rate"] == 0.0
+        assert results["default-route"]["delivered"] == 18
+
+    def test_drop_on_miss_loses_first_window(self):
+        results = run_initial_delay(num_pairs=6, packets_per_flow=3)
+        without = results["drop-on-miss"]
+        assert without["lost"] > 0
+        assert without["loss_rate"] > 0.1
+
+    def test_first_packet_delays_recorded(self):
+        results = run_initial_delay(num_pairs=6, packets_per_flow=2)
+        delays = results["default-route"]["first_packet_delays_s"]
+        assert len(delays) == 6
+        assert all(d > 0 for d in delays)
+
+
+class TestPolicyUpdateComparison:
+    def test_crossover_exists(self):
+        rows = run_comparison(shapes=[(2, 12), (12, 2)])
+        assert not rows[0]["move_wins"]     # few large groups: edit wins
+        assert rows[-1]["move_wins"]        # many small groups: move wins
+
+    def test_costs_positive(self):
+        rows = run_comparison(shapes=[(4, 6)])
+        assert rows[0]["move_endpoints_msgs"] > 0
+        assert rows[0]["edit_matrix_msgs"] > 0
+
+
+class TestWlcPathStretch:
+    def test_off_path_controller_stretch(self):
+        assert run_path_stretch() >= 1.5

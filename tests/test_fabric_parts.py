@@ -1,0 +1,159 @@
+"""Unit tests for endpoints, DHCP, and VRF tables."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import GroupId, VNId
+from repro.fabric import DhcpServer, Endpoint, VrfTable
+from repro.fabric.vrf import LocalEndpointEntry
+from repro.net.addresses import IPv4Address, MacAddress
+
+VN = VNId(100)
+
+
+class TestEndpoint:
+    def test_initial_state(self):
+        endpoint = Endpoint("alice", MacAddress(1))
+        assert not endpoint.attached and not endpoint.onboarded
+
+    def test_send_detached_raises(self):
+        endpoint = Endpoint("alice", MacAddress(1))
+        with pytest.raises(ConfigurationError):
+            endpoint.send(None)
+
+    def test_receive_updates_stats_and_sink(self):
+        seen = []
+        endpoint = Endpoint("alice", MacAddress(1),
+                            sink=lambda e, p, t: seen.append(t))
+        from repro.net.packet import Packet
+        endpoint.receive(Packet(size=500), now=4.2)
+        assert endpoint.packets_received == 1
+        assert endpoint.bytes_received == 500
+        assert endpoint.last_received_at == 4.2
+        assert seen == [4.2]
+
+
+class TestDhcp:
+    def test_lease_stable_per_identity(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/24")
+        ip1, v6_1 = dhcp.lease(VN, "alice")
+        ip2, v6_2 = dhcp.lease(VN, "alice")
+        assert ip1 == ip2 and v6_1 == v6_2
+
+    def test_distinct_identities_distinct_leases(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/24")
+        a, _ = dhcp.lease(VN, "alice")
+        b, _ = dhcp.lease(VN, "bob")
+        assert a != b
+
+    def test_release_and_reuse(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/24")
+        a, _ = dhcp.lease(VN, "alice")
+        dhcp.release(VN, "alice")
+        b, _ = dhcp.lease(VN, "bob")
+        assert b == a   # released address recycled
+
+    def test_pool_exhaustion(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/29", first_offset=1)
+        # /29 leaves 6 usable offsets (network and broadcast excluded).
+        for index in range(6):
+            dhcp.lease(VN, "ep-%d" % index)
+        with pytest.raises(ConfigurationError):
+            dhcp.lease(VN, "one-too-many")
+
+    def test_duplicate_pool_rejected(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/24")
+        with pytest.raises(ConfigurationError):
+            dhcp.add_pool(VN, "10.2.0.0/24")
+
+    def test_missing_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DhcpServer().lease(VN, "alice")
+
+    def test_ipv6_encodes_vn_and_host(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/24")
+        ipv4, ipv6 = dhcp.lease(VN, "alice")
+        assert (int(ipv6) >> 32) & 0xFFFFFF == int(VN)
+        assert int(ipv6) & 0xFFFFFFFF == int(ipv4)
+
+    def test_total_leases(self):
+        dhcp = DhcpServer()
+        dhcp.add_pool(VN, "10.1.0.0/24")
+        dhcp.lease(VN, "a")
+        dhcp.lease(VN, "b")
+        assert dhcp.total_leases() == 2
+
+
+def _entry(identity="alice", ip="10.1.0.5", mac=1, group=7, port=1):
+    endpoint = Endpoint(identity, MacAddress(mac))
+    return LocalEndpointEntry(
+        endpoint, VN, GroupId(group), port,
+        IPv4Address.parse(ip), mac=endpoint.mac,
+    )
+
+
+class TestVrf:
+    def test_add_and_lookup_ip(self):
+        vrf = VrfTable()
+        entry = _entry()
+        vrf.add(entry)
+        assert vrf.lookup_ip(VN, IPv4Address.parse("10.1.0.5")) is entry
+        assert vrf.lookup_ip(VN, IPv4Address.parse("10.1.0.6")) is None
+
+    def test_vn_isolation(self):
+        vrf = VrfTable()
+        vrf.add(_entry())
+        assert vrf.lookup_ip(VNId(999), IPv4Address.parse("10.1.0.5")) is None
+
+    def test_lookup_mac(self):
+        vrf = VrfTable()
+        entry = _entry(mac=42)
+        vrf.add(entry)
+        assert vrf.lookup_mac(VN, MacAddress(42)) is entry
+
+    def test_lookup_identity(self):
+        vrf = VrfTable()
+        entry = _entry()
+        vrf.add(entry)
+        assert vrf.lookup_identity("alice") is entry
+
+    def test_duplicate_identity_rejected(self):
+        vrf = VrfTable()
+        vrf.add(_entry())
+        with pytest.raises(ConfigurationError):
+            vrf.add(_entry(ip="10.1.0.6", mac=2))
+
+    def test_remove(self):
+        vrf = VrfTable()
+        vrf.add(_entry())
+        removed = vrf.remove("alice")
+        assert removed is not None
+        assert len(vrf) == 0
+        assert vrf.lookup_ip(VN, IPv4Address.parse("10.1.0.5")) is None
+        assert vrf.remove("alice") is None
+
+    def test_groups_present(self):
+        vrf = VrfTable()
+        vrf.add(_entry("a", "10.1.0.1", 1, group=7))
+        vrf.add(_entry("b", "10.1.0.2", 2, group=9))
+        vrf.add(_entry("c", "10.1.0.3", 3, group=7))
+        assert vrf.groups_present() == {7, 9}
+
+    def test_update_group(self):
+        vrf = VrfTable()
+        vrf.add(_entry())
+        updated = vrf.update_group("alice", GroupId(99))
+        assert int(updated.group) == 99
+        assert vrf.update_group("ghost", GroupId(1)) is None
+
+    def test_entries_filter_by_vn(self):
+        vrf = VrfTable()
+        vrf.add(_entry())
+        assert len(list(vrf.entries(vn=VN))) == 1
+        assert len(list(vrf.entries(vn=VNId(999)))) == 0

@@ -1,0 +1,74 @@
+"""Tests for the show-command inspection helpers."""
+
+from repro.fabric.inspect import (
+    show_border,
+    show_fabric,
+    show_group_acl,
+    show_map_cache,
+    show_routing_server,
+    show_vrf,
+)
+
+
+def test_show_map_cache_lists_entries(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    net.send(alice, printer)
+    net.settle()
+    text = show_map_cache(alice.edge)
+    assert "map-cache" in text
+    assert str(printer.ip) in text
+
+
+def test_show_map_cache_marks_negative(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    from repro.net.addresses import IPv4Address
+    net.send(alice, IPv4Address.parse("10.1.99.99"))
+    net.settle()
+    text = show_map_cache(alice.edge)
+    assert "negative" in text
+
+
+def test_show_vrf(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    text = show_vrf(alice.edge)
+    assert "alice" in text
+    assert str(alice.ip) in text
+    assert str(alice.mac) in text
+
+
+def test_show_group_acl(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    net.send(alice, printer)
+    net.settle()
+    text = show_group_acl(printer.edge)
+    assert "group ACL" in text and "allow" in text
+
+
+def test_show_routing_server(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    text = show_routing_server(net.routing_server)
+    assert "routing server (9 mappings" in text
+    assert str(alice.ip) in text
+    assert "mac" in text and "ipv6" in text
+
+
+def test_show_border(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    text = show_border(net.borders[0])
+    assert "synced mappings=9" in text
+    assert "ipv4=3" in text
+
+
+def test_show_fabric_summary(populated_fabric):
+    net, alice, bob, printer = populated_fabric
+    text = show_fabric(net)
+    assert "1 borders, 4 edges" in text
+    assert "border-0" in text and "edge-3" in text
+
+
+def test_show_functions_render_on_empty_fabric(small_fabric):
+    net = small_fabric
+    assert show_fabric(net)
+    assert show_map_cache(net.edges[0])
+    assert show_vrf(net.edges[0])
+    assert show_routing_server(net.routing_server)

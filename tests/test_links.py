@@ -1,0 +1,89 @@
+"""Unit tests for the link model and drop-tail queue."""
+
+from repro.net.links import DropTailQueue, Link
+from repro.net.packet import Packet
+
+
+def _packet(size=1000):
+    return Packet(size=size)
+
+
+class TestDropTailQueue:
+    def test_offer_take_fifo(self):
+        queue = DropTailQueue(capacity_bytes=10000)
+        a, b = _packet(), _packet()
+        assert queue.offer(a) and queue.offer(b)
+        assert queue.take() is a
+        assert queue.take() is b
+        assert queue.take() is None
+
+    def test_capacity_drop(self):
+        queue = DropTailQueue(capacity_bytes=1500)
+        assert queue.offer(_packet(1000))
+        assert not queue.offer(_packet(1000))
+        assert queue.dropped_packets == 1
+        assert queue.dropped_bytes == 1000
+
+    def test_bytes_accounting(self):
+        queue = DropTailQueue(capacity_bytes=10000)
+        queue.offer(_packet(700))
+        assert queue.bytes_queued == 700
+        queue.take()
+        assert queue.bytes_queued == 0
+
+
+class TestLink:
+    def test_delivery_after_delay(self, sim):
+        got = []
+        link = Link(sim, got.append, delay_s=1e-3, bandwidth_bps=None)
+        link.send(_packet())
+        sim.run()
+        assert len(got) == 1
+        assert abs(sim.now - 1e-3) < 1e-12
+
+    def test_serialization_delay(self, sim):
+        got = []
+        link = Link(sim, lambda p: got.append(sim.now), delay_s=0.0,
+                    bandwidth_bps=8000.0)   # 1000 bytes -> 1 second
+        link.send(_packet(1000))
+        sim.run()
+        assert abs(got[0] - 1.0) < 1e-9
+
+    def test_queueing_serializes_back_to_back(self, sim):
+        got = []
+        link = Link(sim, lambda p: got.append(sim.now), delay_s=0.0,
+                    bandwidth_bps=8000.0)
+        link.send(_packet(1000))
+        link.send(_packet(1000))
+        sim.run()
+        assert abs(got[0] - 1.0) < 1e-9
+        assert abs(got[1] - 2.0) < 1e-9
+
+    def test_down_link_drops(self, sim):
+        got = []
+        link = Link(sim, got.append)
+        link.set_up(False)
+        assert not link.send(_packet())
+        sim.run()
+        assert got == [] and link.dropped_packets == 1
+
+    def test_link_down_mid_flight_drops_at_arrival(self, sim):
+        got = []
+        link = Link(sim, got.append, delay_s=1.0, bandwidth_bps=None)
+        link.send(_packet())
+        sim.schedule(0.5, link.set_up, False)
+        sim.run()
+        assert got == []
+
+    def test_queue_overflow_counts(self, sim):
+        link = Link(sim, lambda p: None, bandwidth_bps=8.0,   # absurdly slow
+                    queue_bytes=2000)
+        for _ in range(5):
+            link.send(_packet(1000))
+        assert link.dropped_packets >= 2
+
+    def test_tx_counters(self, sim):
+        link = Link(sim, lambda p: None)
+        link.send(_packet(500))
+        sim.run()
+        assert link.tx_packets == 1 and link.tx_bytes == 500

@@ -1,0 +1,157 @@
+"""Unit tests for the link-state IGP."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.underlay import IgpDomain, Topology
+
+
+@pytest.fixture
+def domain(sim):
+    """A 2-spine, 3-leaf converged IGP domain."""
+    topo, spines, leaves = Topology.two_tier(2, 3)
+    igp = IgpDomain(sim, topo)
+    for node in topo.nodes():
+        igp.add_router(node)
+    igp.start()
+    igp.converge()
+    return igp, spines, leaves
+
+
+def test_full_convergence(domain):
+    igp, spines, leaves = domain
+    for name, router in igp.routers.items():
+        assert len(router.lsdb) == 5, "%s has partial LSDB" % name
+        assert len(router.routes) == 4
+
+
+def test_costs_leaf_to_leaf_via_spine(domain):
+    igp, spines, leaves = domain
+    router = igp.router(leaves[0])
+    assert router.cost_to(leaves[1]) == 20   # leaf-spine-leaf
+    assert router.cost_to(spines[0]) == 10
+
+
+def test_ecmp_next_hops(domain):
+    igp, spines, leaves = domain
+    router = igp.router(leaves[0])
+    _cost, hops = router.routes[leaves[1]]
+    assert set(hops) == set(spines)   # two equal-cost paths
+
+
+def test_stub_announcement_reaches_everyone(domain, sim, ip):
+    igp, spines, leaves = domain
+    rloc = ip("192.168.0.1")
+    igp.router(leaves[0]).announce_stub(rloc)
+    igp.converge()
+    for router in igp.routers.values():
+        assert router.rloc_is_reachable(rloc)
+
+
+def test_stub_withdrawal(domain, sim, ip):
+    igp, spines, leaves = domain
+    rloc = ip("192.168.0.1")
+    igp.router(leaves[0]).announce_stub(rloc)
+    igp.converge()
+    igp.router(leaves[0]).withdraw_stub(rloc)
+    igp.converge()
+    assert not igp.router(leaves[1]).rloc_is_reachable(rloc)
+
+
+def test_reachability_subscription(domain, sim, ip):
+    igp, spines, leaves = domain
+    rloc = ip("192.168.0.1")
+    events = []
+    igp.router(leaves[1]).subscribe_reachability(
+        lambda r, up: events.append((str(r), up))
+    )
+    igp.router(leaves[0]).announce_stub(rloc)
+    igp.converge()
+    assert ("192.168.0.1", True) in events
+    igp.node_down(leaves[0])
+    igp.converge()
+    assert ("192.168.0.1", False) in events
+
+
+def test_node_down_removes_routes(domain, sim):
+    igp, spines, leaves = domain
+    igp.node_down(spines[0])
+    igp.converge()
+    router = igp.router(leaves[0])
+    # Still reachable via the other spine.
+    assert router.cost_to(leaves[1]) == 20
+    _cost, hops = router.routes[leaves[1]]
+    assert hops == [spines[1]]
+
+
+def test_partition_drops_destinations(sim):
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_node(name)
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    igp = IgpDomain(sim, topo)
+    for name in ("a", "b", "c"):
+        igp.add_router(name)
+    igp.start()
+    igp.converge()
+    assert igp.router("a").cost_to("c") == 20
+    igp.link_down("b", "c")
+    igp.converge()
+    assert igp.router("a").cost_to("c") is None
+
+
+def test_link_recovery(sim):
+    topo = Topology()
+    for name in ("a", "b"):
+        topo.add_node(name)
+    topo.add_link("a", "b")
+    igp = IgpDomain(sim, topo)
+    igp.add_router("a")
+    igp.add_router("b")
+    igp.start()
+    igp.converge()
+    igp.link_down("a", "b")
+    igp.converge()
+    assert igp.router("a").cost_to("b") is None
+    igp.link_up("a", "b")
+    igp.converge()
+    assert igp.router("a").cost_to("b") == 10
+
+
+def test_disabled_router_goes_silent(domain, sim, ip):
+    igp, spines, leaves = domain
+    rloc = ip("192.168.0.9")
+    router = igp.router(leaves[2])
+    router.announce_stub(rloc)
+    igp.converge()
+    router.set_enabled(False)
+    assert router.lsdb == {}
+    assert not router.rloc_is_reachable(rloc)
+
+
+def test_stale_lsa_sequence_ignored(domain):
+    igp, spines, leaves = domain
+    router = igp.router(leaves[0])
+    current = router.lsdb[leaves[1]]
+    from repro.underlay.linkstate import LinkStateAdvertisement
+
+    stale = LinkStateAdvertisement(leaves[1], current.sequence - 1, {}, set())
+    router.receive_lsa(stale, from_neighbor=spines[0])
+    assert router.lsdb[leaves[1]] is current
+
+
+def test_duplicate_router_rejected(sim):
+    topo = Topology()
+    topo.add_node("a")
+    igp = IgpDomain(sim, topo)
+    igp.add_router("a")
+    with pytest.raises(ConfigurationError):
+        igp.add_router("a")
+
+
+def test_unknown_router_rejected(sim):
+    topo = Topology()
+    igp = IgpDomain(sim, topo)
+    with pytest.raises(ConfigurationError):
+        igp.add_router("ghost")

@@ -1,0 +1,95 @@
+"""Unit tests for LISP control message objects."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.types import GroupId, VNId
+from repro.lisp.messages import (
+    CONTROL_MESSAGE_SIZE,
+    LISP_PORT,
+    MapNotify,
+    MapRegister,
+    MapReply,
+    MapRequest,
+    MapUnregister,
+    PublishUpdate,
+    SolicitMapRequest,
+    SubscribeRequest,
+    control_packet,
+    next_nonce,
+)
+from repro.net.addresses import IPv4Address, Prefix
+from repro.net.packet import IpHeader, UdpHeader
+
+VN = VNId(10)
+EID = Prefix.parse("10.0.0.5/32")
+RLOC = IPv4Address.parse("192.168.0.1")
+
+
+def test_nonces_monotonic_and_unique():
+    first = next_nonce()
+    second = next_nonce()
+    assert second > first
+    messages = [MapRequest(VN, EID, reply_to=RLOC) for _ in range(5)]
+    nonces = [m.nonce for m in messages]
+    assert len(set(nonces)) == 5
+
+
+def test_explicit_nonce_preserved():
+    request = MapRequest(VN, EID, reply_to=RLOC, nonce=777)
+    reply = MapReply(VN, EID, None, nonce=request.nonce)
+    assert reply.nonce == 777
+
+
+def test_kinds_are_distinct():
+    kinds = {
+        MapRequest.kind, MapReply.kind, MapRegister.kind, MapUnregister.kind,
+        MapNotify.kind, SolicitMapRequest.kind, SubscribeRequest.kind,
+        PublishUpdate.kind,
+    }
+    assert len(kinds) == 8
+
+
+def test_map_reply_negative_property():
+    assert MapReply(VN, EID, None).is_negative
+    from repro.lisp.records import MappingRecord
+    record = MappingRecord(VN, EID, RLOC)
+    assert not MapReply(VN, EID, record).is_negative
+
+
+def test_register_mobility_flag_default_false():
+    register = MapRegister(VN, EID, RLOC, GroupId(1))
+    assert not register.mobility
+    roam = MapRegister(VN, EID, RLOC, GroupId(1), mobility=True)
+    assert roam.mobility
+
+
+def test_control_packet_shape():
+    message = MapRequest(VN, EID, reply_to=RLOC)
+    src = IPv4Address.parse("192.168.0.9")
+    packet = control_packet(src, RLOC, message)
+    ip_header = packet.find(IpHeader)
+    udp = packet.find(UdpHeader)
+    assert ip_header.src == src and ip_header.dst == RLOC
+    assert udp.src_port == LISP_PORT and udp.dst_port == LISP_PORT
+    assert packet.size == CONTROL_MESSAGE_SIZE
+    assert packet.payload is message
+
+
+def test_subscribe_vn_filter_default_none():
+    subscribe = SubscribeRequest(RLOC)
+    assert subscribe.vn is None
+
+
+def test_sxp_update_exclusive_payload():
+    from repro.policy.sxp import SxpUpdate, SxpBinding
+    from repro.policy.matrix import PolicyRule
+
+    binding = SxpBinding(VN, EID, GroupId(1))
+    rule = PolicyRule(GroupId(1), GroupId(2), "allow")
+    assert SxpUpdate(binding=binding).binding is binding
+    assert SxpUpdate(rule=rule).rule is rule
+    with pytest.raises(PolicyError):
+        SxpUpdate()
+    with pytest.raises(PolicyError):
+        SxpUpdate(binding=binding, rule=rule)

@@ -1,0 +1,117 @@
+"""Unit tests for mapping records and the mapping database."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import GroupId, VNId
+from repro.lisp import MappingDatabase, MappingRecord
+from repro.net.addresses import IPv4Address, IPv6Address, MacAddress, Prefix
+
+
+VN = VNId(10)
+OTHER_VN = VNId(20)
+
+
+def _record(eid_text="10.0.0.5/32", vn=VN, rloc="192.168.0.1", group=7):
+    return MappingRecord(
+        vn, Prefix.parse(eid_text), IPv4Address.parse(rloc), group=GroupId(group)
+    )
+
+
+class TestMappingRecord:
+    def test_eid_must_be_prefix(self):
+        with pytest.raises(ConfigurationError):
+            MappingRecord(VN, "10.0.0.5", IPv4Address(1))
+
+    def test_default_ttl(self):
+        assert _record().ttl == MappingRecord.DEFAULT_TTL
+
+    def test_copy_is_independent(self):
+        record = _record()
+        clone = record.copy()
+        clone.version = 99
+        assert record.version == 1
+        assert clone.eid == record.eid and clone.rloc == record.rloc
+
+
+class TestMappingDatabase:
+    def test_register_and_lookup(self):
+        db = MappingDatabase()
+        db.register(_record())
+        hit = db.lookup(VN, IPv4Address.parse("10.0.0.5"))
+        assert hit is not None and str(hit.rloc) == "192.168.0.1"
+
+    def test_lookup_wrong_vn_misses(self):
+        db = MappingDatabase()
+        db.register(_record())
+        assert db.lookup(OTHER_VN, IPv4Address.parse("10.0.0.5")) is None
+
+    def test_vn_isolation_same_eid(self):
+        db = MappingDatabase()
+        db.register(_record(vn=VN, rloc="192.168.0.1"))
+        db.register(_record(vn=OTHER_VN, rloc="192.168.0.2"))
+        assert str(db.lookup(VN, IPv4Address.parse("10.0.0.5")).rloc) == "192.168.0.1"
+        assert str(db.lookup(OTHER_VN, IPv4Address.parse("10.0.0.5")).rloc) == "192.168.0.2"
+
+    def test_reregister_bumps_version(self):
+        db = MappingDatabase()
+        db.register(_record(rloc="192.168.0.1"))
+        previous = db.register(_record(rloc="192.168.0.2"))
+        assert previous is not None and str(previous.rloc) == "192.168.0.1"
+        current = db.lookup_exact(VN, Prefix.parse("10.0.0.5/32"))
+        assert current.version == 2
+        assert len(db) == 1
+
+    def test_three_families_per_endpoint(self):
+        db = MappingDatabase()
+        rloc = IPv4Address.parse("192.168.0.1")
+        db.register(MappingRecord(VN, Prefix.parse("10.0.0.5/32"), rloc))
+        db.register(MappingRecord(VN, IPv6Address.parse("2001:db8::5").to_prefix(), rloc))
+        db.register(MappingRecord(VN, MacAddress.parse("02:00:00:00:00:05").to_prefix(), rloc))
+        assert len(db) == 3
+        assert db.count(vn=VN, family="ipv4") == 1
+        assert db.count(vn=VN, family="ipv6") == 1
+        assert db.count(vn=VN, family="mac") == 1
+        assert db.lookup(VN, MacAddress.parse("02:00:00:00:00:05")) is not None
+
+    def test_unregister_exact(self):
+        db = MappingDatabase()
+        db.register(_record())
+        removed = db.unregister(VN, Prefix.parse("10.0.0.5/32"))
+        assert removed is not None
+        assert len(db) == 0
+        assert db.lookup(VN, IPv4Address.parse("10.0.0.5")) is None
+
+    def test_unregister_rloc_guard(self):
+        """An old edge must not deregister an endpoint that moved on."""
+        db = MappingDatabase()
+        db.register(_record(rloc="192.168.0.2"))
+        stale = db.unregister(VN, Prefix.parse("10.0.0.5/32"),
+                              rloc=IPv4Address.parse("192.168.0.1"))
+        assert stale is None
+        assert len(db) == 1
+
+    def test_unregister_absent(self):
+        db = MappingDatabase()
+        assert db.unregister(VN, Prefix.parse("10.0.0.5/32")) is None
+
+    def test_longest_prefix_semantics(self):
+        db = MappingDatabase()
+        db.register(MappingRecord(VN, Prefix.parse("10.0.0.0/8"),
+                                  IPv4Address.parse("192.168.0.9")))
+        db.register(_record("10.0.0.5/32"))
+        assert str(db.lookup(VN, IPv4Address.parse("10.0.0.5")).rloc) == "192.168.0.1"
+        assert str(db.lookup(VN, IPv4Address.parse("10.7.7.7")).rloc) == "192.168.0.9"
+
+    def test_records_filtering(self):
+        db = MappingDatabase()
+        db.register(_record("10.0.0.1/32"))
+        db.register(_record("10.0.0.2/32", vn=OTHER_VN))
+        assert len(list(db.records())) == 2
+        assert len(list(db.records(vn=VN))) == 1
+
+    def test_clear(self):
+        db = MappingDatabase()
+        db.register(_record())
+        db.clear()
+        assert len(db) == 0

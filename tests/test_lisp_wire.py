@@ -1,0 +1,109 @@
+"""Unit tests for the LISP wire codecs."""
+
+import pytest
+
+from repro.core.errors import EncapsulationError
+from repro.core.types import VNId
+from repro.lisp import wire
+from repro.net.addresses import IPv4Address, IPv6Address, MacAddress, Prefix
+
+VN = VNId(4098)
+EID = Prefix.parse("10.1.0.5/32")
+RLOC = IPv4Address.parse("192.168.0.1")
+ITR = IPv4Address.parse("192.168.0.9")
+
+
+class TestMapRequest:
+    def test_roundtrip(self):
+        data = wire.encode_map_request(12345, VN, EID, ITR)
+        decoded = wire.decode_map_request(data)
+        assert decoded["nonce"] == 12345
+        assert decoded["vn"] == VN
+        assert decoded["eid"] == EID
+        assert decoded["reply_to"] == ITR
+
+    def test_type_code(self):
+        data = wire.encode_map_request(1, VN, EID, ITR)
+        assert wire.message_type(data) == wire.TYPE_MAP_REQUEST
+
+    def test_wrong_type_rejected(self):
+        data = wire.encode_map_reply(1, VN, EID, RLOC)
+        with pytest.raises(EncapsulationError):
+            wire.decode_map_request(data)
+
+    def test_ipv6_eid(self):
+        eid = IPv6Address.parse("2001:db8::5").to_prefix()
+        decoded = wire.decode_map_request(wire.encode_map_request(7, VN, eid, ITR))
+        assert decoded["eid"] == eid
+
+    def test_mac_eid(self):
+        eid = MacAddress.parse("02:00:00:00:00:05").to_prefix()
+        decoded = wire.decode_map_request(wire.encode_map_request(7, VN, eid, ITR))
+        assert decoded["eid"] == eid
+
+
+class TestMapReply:
+    def test_positive_roundtrip(self):
+        data = wire.encode_map_reply(99, VN, EID, RLOC, ttl_s=1200, version=4)
+        decoded = wire.decode_map_reply(data)
+        assert not decoded["negative"]
+        assert decoded["rloc"] == RLOC
+        assert decoded["ttl_s"] == 1200
+        assert decoded["version"] == 4
+
+    def test_negative_roundtrip(self):
+        data = wire.encode_map_reply(99, VN, EID, rloc=None, ttl_s=15)
+        decoded = wire.decode_map_reply(data)
+        assert decoded["negative"] and decoded["rloc"] is None
+        assert decoded["ttl_s"] == 15
+
+    def test_nonce_matching(self):
+        request = wire.encode_map_request(555, VN, EID, ITR)
+        req = wire.decode_map_request(request)
+        reply = wire.encode_map_reply(req["nonce"], VN, EID, RLOC)
+        assert wire.decode_map_reply(reply)["nonce"] == 555
+
+
+class TestMapRegisterNotify:
+    def test_register_roundtrip(self):
+        data = wire.encode_map_register(42, VN, EID, RLOC, want_notify=True,
+                                        auth=b"secret-hmac")
+        decoded = wire.decode_map_register(data)
+        assert decoded["vn"] == VN and decoded["eid"] == EID
+        assert decoded["rloc"] == RLOC
+        assert decoded["want_notify"]
+
+    def test_register_no_notify_flag(self):
+        data = wire.encode_map_register(42, VN, EID, RLOC, want_notify=False)
+        assert not wire.decode_map_register(data)["want_notify"]
+
+    def test_notify_roundtrip(self):
+        data = wire.encode_map_notify(42, VN, EID, RLOC)
+        decoded = wire.decode_map_notify(data)
+        assert decoded["eid"] == EID and decoded["rloc"] == RLOC
+
+    def test_auth_field_fixed_width(self):
+        short = wire.encode_map_register(1, VN, EID, RLOC, auth=b"x")
+        long = wire.encode_map_register(1, VN, EID, RLOC, auth=b"y" * 100)
+        assert len(short) == len(long)
+
+
+class TestErrors:
+    def test_empty_message(self):
+        with pytest.raises(EncapsulationError):
+            wire.message_type(b"")
+
+    def test_unknown_afi(self):
+        data = bytearray(wire.encode_map_request(1, VN, EID, ITR))
+        # EID record starts after the 12-byte header + 6-byte ITR RLOC:
+        # 4 bytes instance id, then the 2-byte AFI at offset 22.
+        data[22] = 0xFF
+        with pytest.raises(EncapsulationError):
+            wire.decode_map_request(bytes(data))
+
+    def test_non_ipv4_rloc_rejected(self):
+        data = bytearray(wire.encode_map_request(1, VN, EID, ITR))
+        data[12] = 0x00
+        data[13] = 0x02   # AFI 2 = IPv6, not allowed for RLOCs here
+        with pytest.raises(EncapsulationError):
+            wire.decode_map_request(bytes(data))

@@ -1,0 +1,140 @@
+"""Unit tests for the routing server (map-server)."""
+
+import pytest
+
+from repro.core.types import GroupId, VNId
+from repro.lisp import (
+    MapRegister,
+    MapRequest,
+    MapUnregister,
+    RoutingServer,
+    SubscribeRequest,
+)
+from repro.lisp.records import MappingRecord
+from repro.net.addresses import IPv4Address, Prefix
+
+VN = VNId(10)
+G = GroupId(7)
+
+
+@pytest.fixture
+def server(sim):
+    return RoutingServer(sim, underlay=None)
+
+
+def _eid(text="10.0.0.5/32"):
+    return Prefix.parse(text)
+
+
+def _rloc(text="192.168.0.1"):
+    return IPv4Address.parse(text)
+
+
+class TestServiceModel:
+    def test_service_time_independent_of_occupancy(self, sim):
+        small = RoutingServer(sim, seed=1)
+        big = RoutingServer(sim, seed=1)
+        big.preload(
+            MappingRecord(VN, Prefix(IPv4Address(0x0A000000 + i), 32), _rloc())
+            for i in range(5000)
+        )
+        message = MapRequest(VN, _eid(), reply_to=None)
+        assert small.service_time(message) == big.service_time(message)
+
+    def test_service_time_depends_on_key_width(self, sim):
+        server = RoutingServer(sim, seed=1, service_jitter_s=0.0)
+        v4 = MapRequest(VN, _eid(), reply_to=None)
+        from repro.net.addresses import IPv6Address
+        v6 = MapRequest(VN, IPv6Address.parse("2001:db8::1").to_prefix(), reply_to=None)
+        assert server.service_time(v6) > server.service_time(v4)
+
+    def test_fifo_queueing_delays_bursts(self, sim, server):
+        finishes = []
+        server.on_processed = lambda m, t: finishes.append(t)
+        for _ in range(5):
+            server.handle_message(MapRequest(VN, _eid(), reply_to=None))
+        sim.run()
+        gaps = [b - a for a, b in zip(finishes, finishes[1:])]
+        assert all(g > 0 for g in gaps)   # strictly serialized
+        assert server.stats.max_queue_depth == 5
+
+
+class TestRegistration:
+    def test_register_then_request(self, sim, server):
+        server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
+        sim.run()
+        assert server.route_count == 1
+        server.handle_message(MapRequest(VN, _eid(), reply_to=None))
+        sim.run()
+        assert server.stats.requests == 1
+        assert server.stats.negative_replies == 0
+
+    def test_negative_reply_counted(self, sim, server):
+        server.handle_message(MapRequest(VN, _eid(), reply_to=None))
+        sim.run()
+        assert server.stats.negative_replies == 1
+
+    def test_mobility_reregister_counts_and_notifies(self, sim, server):
+        server.handle_message(MapRegister(VN, _eid(), _rloc("192.168.0.1"), G))
+        sim.run()
+        server.handle_message(
+            MapRegister(VN, _eid(), _rloc("192.168.0.2"), G, mobility=True)
+        )
+        sim.run()
+        assert server.stats.mobility_registers == 1
+        assert server.stats.notifies_sent == 1
+        record = server.database.lookup(VN, IPv4Address.parse("10.0.0.5"))
+        assert str(record.rloc) == "192.168.0.2"
+        assert record.version == 2
+
+    def test_same_rloc_refresh_not_mobility(self, sim, server):
+        for _ in range(2):
+            server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
+            sim.run()
+        assert server.stats.mobility_registers == 0
+        assert server.stats.notifies_sent == 0
+
+    def test_unregister(self, sim, server):
+        server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
+        sim.run()
+        server.handle_message(MapUnregister(VN, _eid(), _rloc()))
+        sim.run()
+        assert server.route_count == 0
+
+    def test_unregister_stale_rloc_ignored(self, sim, server):
+        server.handle_message(MapRegister(VN, _eid(), _rloc("192.168.0.2"), G))
+        sim.run()
+        server.handle_message(MapUnregister(VN, _eid(), _rloc("192.168.0.1")))
+        sim.run()
+        assert server.route_count == 1
+
+
+class TestPubSub:
+    def test_subscription_counts_publishes(self, sim, server):
+        # No underlay: messages are not delivered, but accounting works.
+        server.handle_message(SubscribeRequest(_rloc("192.168.254.1")))
+        sim.run()
+        server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
+        sim.run()
+        assert server.stats.publishes_sent == 1
+
+    def test_initial_state_push(self, sim, server):
+        server.preload([MappingRecord(VN, _eid(), _rloc(), group=G)])
+        server.handle_message(SubscribeRequest(_rloc("192.168.254.1")))
+        sim.run()
+        assert server.stats.publishes_sent == 1
+
+    def test_vn_filtered_subscription(self, sim, server):
+        server.handle_message(SubscribeRequest(_rloc("192.168.254.1"), vn=VNId(99)))
+        sim.run()
+        server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
+        sim.run()
+        assert server.stats.publishes_sent == 0
+
+    def test_refresh_does_not_republish(self, sim, server):
+        server.handle_message(SubscribeRequest(_rloc("192.168.254.1")))
+        sim.run()
+        for _ in range(3):
+            server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
+            sim.run()
+        assert server.stats.publishes_sent == 1   # only the first install

@@ -1,0 +1,121 @@
+"""Unit tests for the group-based ACL and the legacy IP ACL."""
+
+from repro.core.types import GroupId
+from repro.net.addresses import Prefix
+from repro.policy import ConnectivityMatrix, GroupAcl, IpAcl, PolicyAction
+
+
+def _matrix():
+    matrix = ConnectivityMatrix()
+    matrix.allow(GroupId(1), GroupId(2))
+    matrix.deny(GroupId(3), GroupId(2))
+    return matrix
+
+
+class TestGroupAcl:
+    def test_programmed_rules_enforced(self):
+        acl = GroupAcl()
+        acl.program(_matrix().rules())
+        assert acl.allows(GroupId(1), GroupId(2))
+        assert not acl.allows(GroupId(3), GroupId(2))
+
+    def test_default_deny_unprogrammed(self):
+        acl = GroupAcl()
+        assert not acl.allows(GroupId(1), GroupId(2))
+
+    def test_same_group_allowed(self):
+        acl = GroupAcl()
+        assert acl.allows(GroupId(4), GroupId(4))
+
+    def test_counters(self):
+        acl = GroupAcl()
+        acl.program(_matrix().rules())
+        acl.allows(GroupId(1), GroupId(2))
+        acl.allows(GroupId(3), GroupId(2))
+        acl.allows(GroupId(9), GroupId(8))
+        assert acl.hits == 3
+        assert acl.drops == 2
+        assert abs(acl.drop_permille - 1000.0 * 2 / 3) < 1e-9
+
+    def test_drop_permille_empty(self):
+        assert GroupAcl().drop_permille == 0.0
+
+    def test_rule_hit_ledger(self):
+        acl = GroupAcl()
+        acl.program(_matrix().rules())
+        for _ in range(3):
+            acl.evaluate(GroupId(1), GroupId(2))
+        assert acl.rule_hits[(1, 2)] == 3
+
+    def test_reprogram_idempotent(self):
+        acl = GroupAcl()
+        rules = _matrix().rules()
+        acl.program(rules)
+        acl.program(rules)
+        assert len(acl) == 2
+
+    def test_remove_and_clear_destination(self):
+        acl = GroupAcl()
+        acl.program(_matrix().rules())
+        acl.remove(GroupId(1), GroupId(2))
+        assert len(acl) == 1
+        acl.program(_matrix().rules())
+        assert acl.clear_destination(GroupId(2)) == 2
+        assert len(acl) == 0
+
+    def test_version_tracking(self):
+        matrix = _matrix()
+        acl = GroupAcl()
+        acl.program(matrix.rules())
+        v1 = acl.version_of(GroupId(1), GroupId(2))
+        matrix.allow(GroupId(1), GroupId(2))   # re-edit bumps version
+        acl.program(matrix.rules())
+        assert acl.version_of(GroupId(1), GroupId(2)) > v1
+
+
+class TestIpAcl:
+    def test_first_match_semantics(self):
+        acl = IpAcl()
+        acl.append(Prefix.parse("10.0.0.0/8"), Prefix.parse("10.2.0.0/16"), "deny")
+        acl.append(Prefix.parse("10.0.0.0/8"), Prefix.parse("10.0.0.0/8"), "allow")
+        from repro.net.addresses import IPv4Address
+        assert acl.evaluate(IPv4Address.parse("10.1.1.1"),
+                            IPv4Address.parse("10.2.0.1")) == "deny"
+        assert acl.evaluate(IPv4Address.parse("10.1.1.1"),
+                            IPv4Address.parse("10.3.0.1")) == "allow"
+
+    def test_default_action(self):
+        from repro.net.addresses import IPv4Address
+        acl = IpAcl()
+        assert acl.evaluate(IPv4Address(1), IPv4Address(2)) == "deny"
+        assert acl.drops == 1
+
+    def test_from_matrix_size_scales_with_membership(self):
+        """The administration-cost comparison: per-IP rendering explodes."""
+        matrix = _matrix()
+        members = {
+            1: [Prefix.parse("10.1.0.%d/32" % i) for i in range(5)],
+            2: [Prefix.parse("10.2.0.%d/32" % i) for i in range(4)],
+            3: [Prefix.parse("10.3.0.%d/32" % i) for i in range(3)],
+        }
+        acl = IpAcl.from_matrix(matrix, members)
+        # allow(1->2): 5*4=20 lines; deny(3->2): 3*4=12; same-group:
+        # 25+16+9=50.  Group ACL: 2 rules.
+        assert len(acl) == 20 + 12 + 50
+        group_acl = GroupAcl()
+        group_acl.program(matrix.rules())
+        assert len(group_acl) == 2
+
+    def test_from_matrix_preserves_semantics(self):
+        from repro.net.addresses import IPv4Address
+        matrix = _matrix()
+        members = {
+            1: [Prefix.parse("10.1.0.1/32")],
+            2: [Prefix.parse("10.2.0.1/32")],
+            3: [Prefix.parse("10.3.0.1/32")],
+        }
+        acl = IpAcl.from_matrix(matrix, members)
+        assert acl.evaluate(IPv4Address.parse("10.1.0.1"),
+                            IPv4Address.parse("10.2.0.1")) == "allow"
+        assert acl.evaluate(IPv4Address.parse("10.3.0.1"),
+                            IPv4Address.parse("10.2.0.1")) == "deny"

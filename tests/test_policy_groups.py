@@ -1,0 +1,85 @@
+"""Unit tests for groups, VNs and the segmentation plan."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.types import GroupId, VNId
+from repro.policy import SegmentationPlan
+
+
+@pytest.fixture
+def plan():
+    p = SegmentationPlan()
+    p.add_vn(100, "corp")
+    p.add_vn(200, "guest")
+    p.add_group(1, "employees", 100)
+    p.add_group(2, "printers", 100)
+    p.add_group(3, "visitors", 200)
+    return p
+
+
+def test_vn_lookup(plan):
+    assert plan.vn(100).name == "corp"
+    assert plan.vn_by_name("guest").vn_id == VNId(200)
+    assert plan.has_vn(100) and not plan.has_vn(999)
+
+
+def test_unknown_vn_raises(plan):
+    with pytest.raises(PolicyError):
+        plan.vn(999)
+    with pytest.raises(PolicyError):
+        plan.vn_by_name("nope")
+
+
+def test_duplicate_vn_id_rejected(plan):
+    with pytest.raises(PolicyError):
+        plan.add_vn(100, "other")
+
+
+def test_duplicate_vn_name_rejected(plan):
+    with pytest.raises(PolicyError):
+        plan.add_vn(300, "corp")
+
+
+def test_group_lookup(plan):
+    assert plan.group(1).name == "employees"
+    assert plan.group_by_name("printers").group_id == GroupId(2)
+    assert plan.has_group(1) and not plan.has_group(99)
+
+
+def test_group_requires_existing_vn(plan):
+    with pytest.raises(PolicyError):
+        plan.add_group(9, "ghosts", 999)
+
+
+def test_duplicate_group_id_rejected(plan):
+    with pytest.raises(PolicyError):
+        plan.add_group(1, "dup", 100)
+
+
+def test_duplicate_group_name_rejected(plan):
+    with pytest.raises(PolicyError):
+        plan.add_group(9, "employees", 100)
+
+
+def test_groups_filtered_by_vn(plan):
+    names = {g.name for g in plan.groups(100)}
+    assert names == {"employees", "printers"}
+    assert len(plan.groups()) == 3
+
+
+def test_validate_same_vn(plan):
+    assert plan.validate_same_vn(1, 2) == VNId(100)
+    with pytest.raises(PolicyError):
+        plan.validate_same_vn(1, 3)   # crosses corp/guest
+
+
+def test_vn_id_range_enforced():
+    plan = SegmentationPlan()
+    with pytest.raises(Exception):
+        plan.add_vn(1 << 24, "too-big")
+
+
+def test_group_id_range_enforced(plan):
+    with pytest.raises(Exception):
+        plan.add_group(1 << 16, "too-big", 100)

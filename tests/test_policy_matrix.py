@@ -1,0 +1,102 @@
+"""Unit tests for the group connectivity matrix."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.types import GroupId
+from repro.policy import ConnectivityMatrix, PolicyAction, SegmentationPlan
+
+
+@pytest.fixture
+def matrix():
+    return ConnectivityMatrix()
+
+
+def test_default_deny(matrix):
+    assert not matrix.allows(GroupId(1), GroupId(2))
+    assert matrix.action_for(GroupId(1), GroupId(2)) == PolicyAction.DENY
+
+
+def test_same_group_default_allow(matrix):
+    assert matrix.allows(GroupId(5), GroupId(5))
+
+
+def test_same_group_override_deny(matrix):
+    matrix.set_rule(GroupId(5), GroupId(5), PolicyAction.DENY)
+    assert not matrix.allows(GroupId(5), GroupId(5))
+
+
+def test_allow_directional(matrix):
+    matrix.allow(GroupId(1), GroupId(2))
+    assert matrix.allows(GroupId(1), GroupId(2))
+    assert not matrix.allows(GroupId(2), GroupId(1))
+
+
+def test_allow_symmetric(matrix):
+    matrix.allow(GroupId(1), GroupId(2), symmetric=True)
+    assert matrix.allows(GroupId(1), GroupId(2))
+    assert matrix.allows(GroupId(2), GroupId(1))
+
+
+def test_deny_overrides_allow(matrix):
+    matrix.allow(GroupId(1), GroupId(2))
+    matrix.deny(GroupId(1), GroupId(2))
+    assert not matrix.allows(GroupId(1), GroupId(2))
+
+
+def test_invalid_action_rejected(matrix):
+    with pytest.raises(PolicyError):
+        matrix.set_rule(GroupId(1), GroupId(2), "maybe")
+
+
+def test_version_bumps_per_edit(matrix):
+    v0 = matrix.version
+    matrix.allow(GroupId(1), GroupId(2))
+    assert matrix.version == v0 + 1
+    matrix.deny(GroupId(3), GroupId(4))
+    assert matrix.version == v0 + 2
+
+
+def test_remove_rule(matrix):
+    matrix.allow(GroupId(1), GroupId(2))
+    assert matrix.remove_rule(GroupId(1), GroupId(2))
+    assert not matrix.allows(GroupId(1), GroupId(2))
+    assert not matrix.remove_rule(GroupId(1), GroupId(2))
+
+
+def test_rules_for_destination(matrix):
+    matrix.allow(GroupId(1), GroupId(9))
+    matrix.allow(GroupId(2), GroupId(9))
+    matrix.allow(GroupId(1), GroupId(5))
+    rules = matrix.rules_for_destination(GroupId(9))
+    assert len(rules) == 2
+    assert all(int(r.dst_group) == 9 for r in rules)
+
+
+def test_rules_for_source(matrix):
+    matrix.allow(GroupId(1), GroupId(9))
+    matrix.allow(GroupId(1), GroupId(5))
+    matrix.allow(GroupId(2), GroupId(9))
+    rules = matrix.rules_for_source(GroupId(1))
+    assert len(rules) == 2
+    assert all(int(r.src_group) == 1 for r in rules)
+
+
+def test_groups_in_rules(matrix):
+    matrix.allow(GroupId(1), GroupId(9))
+    matrix.deny(GroupId(2), GroupId(5))
+    assert matrix.groups_in_rules() == [1, 2, 5, 9]
+
+
+def test_plan_validation_blocks_cross_vn_rules():
+    plan = SegmentationPlan()
+    plan.add_vn(1, "a")
+    plan.add_vn(2, "b")
+    plan.add_group(10, "ga", 1)
+    plan.add_group(20, "gb", 2)
+    matrix = ConnectivityMatrix(plan)
+    with pytest.raises(PolicyError):
+        matrix.allow(GroupId(10), GroupId(20))
+    # Same-VN is fine.
+    plan.add_group(11, "ga2", 1)
+    matrix.allow(GroupId(10), GroupId(11))

@@ -1,0 +1,106 @@
+"""Unit tests for the policy server."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.types import GroupId, VNId
+from repro.policy import PolicyServer, SegmentationPlan
+
+
+@pytest.fixture
+def plan():
+    p = SegmentationPlan()
+    p.add_vn(100, "corp")
+    p.add_group(1, "employees", 100)
+    p.add_group(2, "printers", 100)
+    p.add_vn(200, "guest")
+    p.add_group(3, "visitors", 200)
+    return p
+
+
+@pytest.fixture
+def server(sim, plan):
+    s = PolicyServer(sim, plan)
+    s.enroll("alice", "pw", 1, 100)
+    return s
+
+
+def test_accept_with_attributes(server):
+    result = server.authenticate("alice", "pw")
+    assert result.accepted
+    assert result.vn == VNId(100)
+    assert result.group == GroupId(1)
+    assert server.auth_accepts == 1
+
+
+def test_reject_unknown(server):
+    result = server.authenticate("mallory", "pw")
+    assert not result.accepted and result.reason == "unknown-identity"
+    assert server.auth_rejects == 1
+
+
+def test_reject_bad_secret(server):
+    result = server.authenticate("alice", "wrong")
+    assert not result.accepted and result.reason == "bad-secret"
+
+
+def test_reject_disabled(server):
+    server.disable("alice")
+    result = server.authenticate("alice", "pw")
+    assert not result.accepted and result.reason == "disabled"
+
+
+def test_enroll_validates_group_vn_pairing(server):
+    with pytest.raises(PolicyError):
+        server.enroll("bob", "pw", 3, 100)   # visitors is in guest VN
+    with pytest.raises(PolicyError):
+        server.enroll("bob", "pw", 99, 100)  # unknown group
+
+
+def test_accept_carries_destination_rules(server):
+    server.set_rule(GroupId(2), GroupId(1), "allow")
+    server.set_rule(GroupId(1), GroupId(2), "allow")
+    result = server.authenticate("alice", "pw")
+    # Egress: only rules whose destination is alice's group (1).
+    assert len(result.rules) == 1
+    assert int(result.rules[0].dst_group) == 1
+
+
+def test_ingress_enforcement_gets_source_rules_too(server):
+    server.set_rule(GroupId(2), GroupId(1), "allow")
+    server.set_rule(GroupId(1), GroupId(2), "allow")
+    result = server.authenticate("alice", "pw", enforcement="ingress")
+    assert len(result.rules) == 2
+
+
+def test_matrix_change_notifies_listeners(server):
+    seen = []
+    server.on_matrix_change(seen.append)
+    rule = server.set_rule(GroupId(1), GroupId(2), "allow")
+    assert seen == [rule]
+
+
+def test_reassign_group_same_vn(server):
+    changes = []
+    server.on_group_change(lambda i, old, new: changes.append((str(i), int(old), int(new))))
+    old = server.reassign_group("alice", 2)
+    assert old == GroupId(1)
+    assert changes == [("alice", 1, 2)]
+    assert server.authenticate("alice", "pw").group == GroupId(2)
+
+
+def test_reassign_group_cross_vn_rejected(server):
+    with pytest.raises(PolicyError):
+        server.reassign_group("alice", 3)
+
+
+def test_simulated_exchange_over_underlay(small_fabric):
+    """End-to-end auth through the attached policy server."""
+    net = small_fabric
+    net.create_endpoint("carol", "employees", 4098)
+    endpoint = net.endpoint("carol")
+    results = []
+    net.admit(endpoint, 0, on_complete=lambda e, ok: results.append(ok))
+    net.settle()
+    assert results == [True]
+    assert net.policy_server.auth_accepts >= 1

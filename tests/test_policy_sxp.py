@@ -1,0 +1,87 @@
+"""Unit tests for the SXP speaker."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.types import GroupId, VNId
+from repro.net.addresses import IPv4Address, Prefix
+from repro.policy import SxpBinding, SxpSpeaker
+from repro.policy.matrix import PolicyRule
+
+VN = VNId(10)
+
+
+@pytest.fixture
+def speaker(sim):
+    return SxpSpeaker(sim)
+
+
+def _peer(n):
+    return IPv4Address(0xC0A80000 + n)
+
+
+def test_rule_distribution_targets_destination_hosts(speaker):
+    speaker.add_peer(_peer(1))
+    speaker.add_peer(_peer(2))
+    speaker.set_peer_groups(_peer(1), {5})
+    speaker.set_peer_groups(_peer(2), {9})
+    rule = PolicyRule(GroupId(1), GroupId(5), "allow")
+    assert speaker.distribute_rule(rule) == 1
+    assert speaker.rule_updates_sent == 1
+
+
+def test_rule_to_nobody(speaker):
+    speaker.add_peer(_peer(1))
+    rule = PolicyRule(GroupId(1), GroupId(5), "allow")
+    assert speaker.distribute_rule(rule) == 0
+
+
+def test_set_groups_unknown_peer_rejected(speaker):
+    with pytest.raises(PolicyError):
+        speaker.set_peer_groups(_peer(9), {1})
+
+
+def test_binding_pushed_to_binding_peers_only(speaker):
+    speaker.add_peer(_peer(1), wants_bindings=True)
+    speaker.add_peer(_peer(2), wants_bindings=False)
+    binding = SxpBinding(VN, Prefix.parse("10.1.0.0/16"), GroupId(7))
+    speaker.publish_binding(binding)
+    assert speaker.binding_updates_sent == 1
+
+
+def test_late_binding_peer_gets_full_state(speaker):
+    binding = SxpBinding(VN, Prefix.parse("10.1.0.0/16"), GroupId(7))
+    speaker.publish_binding(binding)
+    speaker.add_peer(_peer(1), wants_bindings=True)
+    assert speaker.binding_updates_sent == 1
+
+
+def test_binding_lookup_most_specific(speaker):
+    speaker.publish_binding(SxpBinding(VN, Prefix.parse("10.0.0.0/8"), GroupId(1)))
+    speaker.publish_binding(SxpBinding(VN, Prefix.parse("10.1.0.0/16"), GroupId(2)))
+    hit = speaker.binding_for(VN, IPv4Address.parse("10.1.2.3"))
+    assert int(hit.group) == 2
+    hit = speaker.binding_for(VN, IPv4Address.parse("10.9.2.3"))
+    assert int(hit.group) == 1
+    assert speaker.binding_for(VN, IPv4Address.parse("11.0.0.1")) is None
+
+
+def test_binding_vn_scoped(speaker):
+    speaker.publish_binding(SxpBinding(VN, Prefix.parse("10.0.0.0/8"), GroupId(1)))
+    assert speaker.binding_for(VNId(99), IPv4Address.parse("10.1.2.3")) is None
+
+
+def test_withdraw_binding(speaker):
+    speaker.add_peer(_peer(1), wants_bindings=True)
+    speaker.publish_binding(SxpBinding(VN, Prefix.parse("10.0.0.0/8"), GroupId(1)))
+    assert speaker.withdraw_binding(VN, Prefix.parse("10.0.0.0/8"))
+    assert speaker.binding_for(VN, IPv4Address.parse("10.1.2.3")) is None
+    assert not speaker.withdraw_binding(VN, Prefix.parse("10.0.0.0/8"))
+
+
+def test_remove_peer(speaker):
+    speaker.add_peer(_peer(1))
+    speaker.set_peer_groups(_peer(1), {5})
+    speaker.remove_peer(_peer(1))
+    rule = PolicyRule(GroupId(1), GroupId(5), "allow")
+    assert speaker.distribute_rule(rule) == 0

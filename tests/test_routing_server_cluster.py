@@ -1,0 +1,78 @@
+"""Tests for horizontally scaled routing servers (sec. 4.1 scale-out)."""
+
+import pytest
+
+from repro.fabric import FabricConfig, FabricNetwork
+from tests.conftest import admit_and_settle
+
+
+@pytest.fixture
+def clustered_fabric():
+    net = FabricNetwork(FabricConfig(num_borders=1, num_edges=4,
+                                     num_routing_servers=2, seed=17))
+    net.define_vn("corp", 4098, "10.1.0.0/16")
+    net.define_group("users", 10, 4098)
+    return net
+
+
+def test_cluster_built(clustered_fabric):
+    net = clustered_fabric
+    assert len(net.routing_servers) == 2
+    assert net.routing_servers[0].rloc != net.routing_servers[1].rloc
+
+
+def test_invalid_server_count_rejected():
+    from repro.core.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        FabricConfig(num_routing_servers=0)
+
+
+def test_registrations_fan_out_to_all_servers(clustered_fabric):
+    net = clustered_fabric
+    alice = net.create_endpoint("alice", "users", 4098)
+    admit_and_settle(net, alice, 0)
+    # Every server has the full mapping state (route updates go to all).
+    for server in net.routing_servers:
+        assert server.route_count == 3
+        assert server.database.lookup(alice.vn, alice.ip) is not None
+
+
+def test_requests_split_across_servers(clustered_fabric):
+    net = clustered_fabric
+    # Edges alternate their assigned request server.
+    assert net.edges[0].routing_server_rloc == net.routing_servers[0].rloc
+    assert net.edges[1].routing_server_rloc == net.routing_servers[1].rloc
+    assert net.edges[2].routing_server_rloc == net.routing_servers[0].rloc
+
+    alice = net.create_endpoint("alice", "users", 4098)
+    bob = net.create_endpoint("bob", "users", 4098)
+    admit_and_settle(net, alice, 0)
+    admit_and_settle(net, bob, 1)
+    net.send(alice, bob)    # edge 0 asks server 0
+    net.settle()
+    net.send(bob, alice)    # edge 1 asks server 1
+    net.settle()
+    assert net.routing_servers[0].stats.requests == 1
+    assert net.routing_servers[1].stats.requests == 1
+    assert alice.packets_received == 1 and bob.packets_received == 1
+
+
+def test_mobility_consistent_across_servers(clustered_fabric):
+    net = clustered_fabric
+    alice = net.create_endpoint("alice", "users", 4098)
+    admit_and_settle(net, alice, 0)
+    net.roam(alice, 3)
+    net.settle()
+    for server in net.routing_servers:
+        record = server.database.lookup(alice.vn, alice.ip)
+        assert record.rloc == net.edges[3].rloc
+
+
+def test_departure_clears_all_servers(clustered_fabric):
+    net = clustered_fabric
+    alice = net.create_endpoint("alice", "users", 4098)
+    admit_and_settle(net, alice, 0)
+    net.depart(alice)
+    net.settle()
+    for server in net.routing_servers:
+        assert server.database.lookup(alice.vn, alice.ip) is None

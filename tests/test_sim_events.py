@@ -1,0 +1,83 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, order.append, ("c",))
+    queue.push(1.0, order.append, ("a",))
+    queue.push(2.0, order.append, ("b",))
+    while queue:
+        queue.pop().fire()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    queue = EventQueue()
+    order = []
+    for label in "abcde":
+        queue.push(5.0, order.append, (label,))
+    while queue:
+        queue.pop().fire()
+    assert order == list("abcde")
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    e1 = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(e1)
+    assert len(queue) == 1
+
+
+def test_cancelled_event_does_not_fire():
+    queue = EventQueue()
+    fired = []
+    event = queue.push(1.0, fired.append, (1,))
+    queue.cancel(event)
+    queue.push(2.0, fired.append, (2,))
+    while queue:
+        queue.pop().fire()
+    assert fired == [2]
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    queue.cancel(event)
+    assert not queue

@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_schedule_relative_delay(sim):
+    log = []
+    sim.schedule(1.5, lambda: log.append(sim.now))
+    sim.run()
+    assert log == [1.5]
+
+
+def test_schedule_at_absolute(sim):
+    log = []
+    sim.schedule_at(4.0, lambda: log.append(sim.now))
+    sim.run()
+    assert log == [4.0]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_advances_clock_exactly(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert sim.pending == 1
+
+
+def test_run_until_executes_due_events_only(sim):
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(5.0, lambda: log.append(5))
+    sim.run(until=2.0)
+    assert log == [1]
+    sim.run()
+    assert log == [1, 5]
+
+
+def test_events_can_schedule_events(sim):
+    log = []
+
+    def first():
+        log.append("first")
+        sim.schedule(1.0, lambda: log.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert log == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_zero_delay_event_fires_after_current(sim):
+    log = []
+
+    def outer():
+        sim.schedule(0.0, lambda: log.append("inner"))
+        log.append("outer")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert log == ["outer", "inner"]
+
+
+def test_cancel_scheduled_event(sim):
+    log = []
+    event = sim.schedule(1.0, lambda: log.append("x"))
+    sim.cancel(event)
+    sim.run()
+    assert log == []
+
+
+def test_max_events_cap(sim):
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    processed = sim.run(max_events=4)
+    assert processed == 4
+    assert sim.pending == 6
+
+
+def test_step_processes_one(sim):
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(2.0, lambda: log.append(2))
+    assert sim.step()
+    assert log == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_processed_counter(sim):
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_trace_hook_receives_logs():
+    records = []
+    sim = Simulator(trace=lambda t, cat, msg: records.append((t, cat, msg)))
+    sim.schedule(2.0, lambda: sim.log("test", "hello"))
+    sim.run()
+    assert records == [(2.0, "test", "hello")]
+
+
+def test_trace_disabled_by_default(sim):
+    sim.log("anything", "ignored")   # must not raise
+
+
+def test_deterministic_ordering_same_time(sim):
+    log = []
+    for index in range(20):
+        sim.schedule(1.0, log.append, index)
+    sim.run()
+    assert log == list(range(20))

@@ -1,0 +1,112 @@
+"""Tests for declarative deployment specs."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.fabric.spec import build_from_json, build_from_spec
+
+
+def _spec():
+    return {
+        "fabric": {"num_borders": 1, "num_edges": 4, "seed": 7},
+        "vns": [{"name": "corp", "id": 4098, "prefix": "10.1.0.0/16"}],
+        "groups": [
+            {"name": "employees", "id": 10, "vn": "corp"},
+            {"name": "printers", "id": 20, "vn": "corp"},
+        ],
+        "rules": [{"from": "employees", "to": "printers",
+                   "action": "allow", "symmetric": True}],
+        "endpoints": [
+            {"identity": "alice", "group": "employees", "vn": "corp", "edge": 0},
+            {"identity": "printer-1", "group": "printers", "vn": "corp", "edge": 2},
+        ],
+    }
+
+
+def test_builds_and_onboards():
+    net = build_from_spec(_spec())
+    alice = net.endpoint("alice")
+    printer = net.endpoint("printer-1")
+    assert alice.onboarded and printer.onboarded
+    assert alice.edge is net.edges[0]
+    net.send(alice, printer)
+    net.settle()
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received == 2
+
+
+def test_rules_enforced():
+    spec = _spec()
+    spec["groups"].append({"name": "cameras", "id": 30, "vn": "corp"})
+    spec["endpoints"].append(
+        {"identity": "cam-1", "group": "cameras", "vn": "corp", "edge": 1}
+    )
+    net = build_from_spec(spec)
+    cam = net.endpoint("cam-1")
+    printer = net.endpoint("printer-1")
+    net.send(cam, printer.ip)
+    net.settle()
+    net.send(cam, printer.ip)
+    net.settle()
+    assert printer.packets_received == 0   # no cameras->printers rule
+
+
+def test_deny_rule():
+    spec = _spec()
+    spec["rules"].append({"from": "employees", "to": "printers",
+                          "action": "deny"})
+    net = build_from_spec(spec)
+    alice = net.endpoint("alice")
+    printer = net.endpoint("printer-1")
+    net.send(alice, printer.ip)
+    net.settle()
+    net.send(alice, printer.ip)
+    net.settle()
+    assert printer.packets_received == 0   # deny wrote over the allow
+
+
+def test_unknown_top_key_rejected():
+    spec = _spec()
+    spec["typo"] = []
+    with pytest.raises(ConfigurationError):
+        build_from_spec(spec)
+
+
+def test_unknown_nested_key_rejected():
+    spec = _spec()
+    spec["endpoints"][0]["por"] = 3
+    with pytest.raises(ConfigurationError):
+        build_from_spec(spec)
+
+
+def test_no_vns_rejected():
+    with pytest.raises(ConfigurationError):
+        build_from_spec({"fabric": {}})
+
+
+def test_bad_action_rejected():
+    spec = _spec()
+    spec["rules"][0]["action"] = "mirror"
+    with pytest.raises(ConfigurationError):
+        build_from_spec(spec)
+
+
+def test_bad_secret_fails_onboarding():
+    spec = _spec()
+    spec["endpoints"][0]["secret"] = "right"
+    net_spec = json.dumps(spec)
+    net = build_from_json(net_spec)      # enroll + admit use the same secret
+    assert net.endpoint("alice").onboarded
+
+
+def test_json_roundtrip():
+    net = build_from_json(json.dumps(_spec()))
+    assert net.endpoint("alice").onboarded
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ConfigurationError):
+        build_from_json("{not json")

@@ -1,0 +1,132 @@
+"""Unit tests for the stats helpers."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.stats import (
+    BoxplotStats,
+    TimeSeries,
+    boxplot,
+    cdf_points,
+    mean,
+    percentile,
+    relative_to_min,
+)
+
+
+class TestPercentile:
+    def test_basic(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == 50.5
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+
+    def test_interpolation(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_single_sample(self):
+        assert percentile([7], 95) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1], 101)
+
+
+class TestBoxplot:
+    def test_five_numbers(self):
+        stats = boxplot(list(range(1, 101)))
+        assert stats.median == 50.5
+        assert stats.q1 == 25.75
+        assert stats.q3 == 75.25
+        assert stats.minimum == 1 and stats.maximum == 100
+        assert stats.count == 100
+
+    def test_whisker_band(self):
+        stats = boxplot(list(range(1, 1001)), whisker_band=90.0)
+        assert abs(stats.whisker_low - percentile(range(1, 1001), 5)) < 1e-9
+        assert abs(stats.whisker_high - percentile(range(1, 1001), 95)) < 1e-9
+
+    def test_as_dict_keys(self):
+        d = boxplot([1, 2, 3]).as_dict()
+        assert {"min", "median", "q1", "q3", "mean", "count"} <= set(d)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            BoxplotStats([])
+
+
+class TestCdf:
+    def test_reaches_one(self):
+        points = cdf_points([1, 2, 3, 4, 5])
+        assert points[-1][1] == 1.0
+
+    def test_monotone(self):
+        points = cdf_points([5, 3, 1, 4, 2], num_points=5)
+        values = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+
+    def test_small_sample_full_resolution(self):
+        points = cdf_points([10, 20], num_points=100)
+        assert points == [(10, 0.5), (20, 1.0)]
+
+    def test_downsampling(self):
+        points = cdf_points(list(range(1000)), num_points=10)
+        assert len(points) <= 12
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            cdf_points([])
+
+
+class TestRelativeToMin:
+    def test_normalization(self):
+        assert relative_to_min([2.0, 4.0, 6.0]) == [1.0, 2.0, 3.0]
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_to_min([0.0, 1.0])
+
+
+class TestTimeSeries:
+    def test_append_ordering_enforced(self):
+        series = TimeSeries()
+        series.append(1.0, 10)
+        with pytest.raises(ConfigurationError):
+            series.append(0.5, 20)
+
+    def test_window_mean(self):
+        series = TimeSeries()
+        for t, v in [(0, 10), (1, 20), (2, 30), (3, 40)]:
+            series.append(t, v)
+        assert series.window_mean(1, 3) == 25
+        assert series.window_mean(10, 20) is None
+
+    def test_mean_where(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.append(float(t), t)
+        even = series.mean_where(lambda t: int(t) % 2 == 0)
+        assert even == 4.0
+
+    def test_overall_mean(self):
+        series = TimeSeries()
+        assert series.overall_mean() is None
+        series.append(0, 10)
+        series.append(1, 30)
+        assert series.overall_mean() == 20
+
+    def test_resample_hourly(self):
+        series = TimeSeries()
+        series.append(3600.0, 5)
+        assert series.resample_hourly() == [(1.0, 5)]
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ConfigurationError):
+        mean([])

@@ -1,0 +1,104 @@
+"""Unit tests for the underlay topology graph."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.underlay import Topology
+
+
+def test_add_nodes_and_links():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    link = topo.add_link("a", "b", metric=5)
+    assert topo.has_node("a")
+    assert topo.link("a", "b") is link
+    assert topo.link("b", "a") is link   # undirected
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(ConfigurationError):
+        topo.add_node("a")
+
+
+def test_duplicate_link_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b")
+    with pytest.raises(ConfigurationError):
+        topo.add_link("b", "a")
+
+
+def test_self_loop_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(ConfigurationError):
+        topo.add_link("a", "a")
+
+
+def test_unknown_node_link_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(ConfigurationError):
+        topo.add_link("a", "ghost")
+
+
+def test_neighbors_live_only():
+    topo = Topology()
+    for name in "abc":
+        topo.add_node(name)
+    topo.add_link("a", "b")
+    topo.add_link("a", "c")
+    assert {n for n, _ in topo.neighbors("a")} == {"b", "c"}
+    topo.set_link_state("a", "b", False)
+    assert {n for n, _ in topo.neighbors("a")} == {"c"}
+    topo.set_node_state("c", False)
+    assert list(topo.neighbors("a")) == []
+
+
+def test_down_node_has_no_neighbors():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b")
+    topo.set_node_state("a", False)
+    assert list(topo.neighbors("a")) == []
+
+
+def test_version_bumps_on_changes():
+    topo = Topology()
+    v0 = topo.version
+    topo.add_node("a")
+    assert topo.version > v0
+    topo.add_node("b")
+    v1 = topo.version
+    topo.add_link("a", "b")
+    assert topo.version > v1
+    v2 = topo.version
+    topo.set_link_state("a", "b", False)
+    assert topo.version > v2
+    # No-op state change does not bump.
+    v3 = topo.version
+    topo.set_link_state("a", "b", False)
+    assert topo.version == v3
+
+
+def test_two_tier_shape():
+    topo, spines, leaves = Topology.two_tier(2, 5)
+    assert len(spines) == 2 and len(leaves) == 5
+    assert len(topo.links()) == 10
+    for leaf in leaves:
+        assert {n for n, _ in topo.neighbors(leaf)} == set(spines)
+
+
+def test_link_other_endpoint():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    link = topo.add_link("a", "b")
+    assert link.other("a") == "b"
+    with pytest.raises(ConfigurationError):
+        link.other("c")

@@ -1,0 +1,150 @@
+"""Unit tests for the Patricia trie."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net.addresses import IPv4Address, MacAddress, Prefix
+from repro.net.trie import PatriciaTrie
+
+
+@pytest.fixture
+def trie():
+    return PatriciaTrie()
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def A(text):
+    return IPv4Address.parse(text)
+
+
+class TestInsertLookup:
+    def test_insert_and_exact(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.lookup_exact(P("10.0.0.0/8")) == "a"
+        assert trie.lookup_exact(P("10.0.0.0/9")) is None
+
+    def test_replace_value(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "b")
+        assert trie.lookup_exact(P("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_longest_prefix_match(self, trie):
+        trie.insert(P("10.0.0.0/8"), "short")
+        trie.insert(P("10.1.0.0/16"), "mid")
+        trie.insert(P("10.1.2.0/24"), "long")
+        assert trie.lookup_longest(A("10.1.2.3"))[1] == "long"
+        assert trie.lookup_longest(A("10.1.9.3"))[1] == "mid"
+        assert trie.lookup_longest(A("10.9.9.9"))[1] == "short"
+        assert trie.lookup_longest(A("11.0.0.1")) is None
+
+    def test_default_route_matches_everything(self, trie):
+        trie.insert(P("0.0.0.0/0"), "default")
+        assert trie.lookup_longest(A("203.0.113.9"))[1] == "default"
+
+    def test_host_routes(self, trie):
+        trie.insert(P("10.0.0.1/32"), "host1")
+        trie.insert(P("10.0.0.2/32"), "host2")
+        assert trie.lookup_longest(A("10.0.0.1"))[1] == "host1"
+        assert trie.lookup_longest(A("10.0.0.2"))[1] == "host2"
+        assert trie.lookup_longest(A("10.0.0.3")) is None
+
+    def test_contains(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert P("10.0.0.0/8") in trie
+        assert P("10.0.0.0/16") not in trie
+
+    def test_intermediate_split_nodes_hold_no_value(self, trie):
+        # 10.0.0.0/24 and 10.0.1.0/24 share a /23 split point.
+        trie.insert(P("10.0.0.0/24"), "x")
+        trie.insert(P("10.0.1.0/24"), "y")
+        assert trie.lookup_exact(P("10.0.0.0/23")) is None
+        assert len(trie) == 2
+
+    def test_value_on_split_point_insert(self, trie):
+        trie.insert(P("10.0.0.0/24"), "x")
+        trie.insert(P("10.0.1.0/24"), "y")
+        trie.insert(P("10.0.0.0/23"), "split")
+        assert trie.lookup_exact(P("10.0.0.0/23")) == "split"
+        assert trie.lookup_longest(A("10.0.0.5"))[1] == "x"
+        assert len(trie) == 3
+
+
+class TestDelete:
+    def test_delete_present(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.delete(P("10.0.0.0/8"))
+        assert len(trie) == 0
+        assert trie.lookup_longest(A("10.0.0.1")) is None
+
+    def test_delete_absent(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert not trie.delete(P("10.0.0.0/16"))
+        assert not trie.delete(P("11.0.0.0/8"))
+        assert len(trie) == 1
+
+    def test_delete_keeps_covering_route(self, trie):
+        trie.insert(P("10.0.0.0/8"), "short")
+        trie.insert(P("10.1.0.0/16"), "long")
+        trie.delete(P("10.1.0.0/16"))
+        assert trie.lookup_longest(A("10.1.2.3"))[1] == "short"
+
+    def test_delete_collapses_split_nodes(self, trie):
+        trie.insert(P("10.0.0.0/24"), "x")
+        trie.insert(P("10.0.1.0/24"), "y")
+        trie.delete(P("10.0.1.0/24"))
+        assert trie.lookup_longest(A("10.0.0.5"))[1] == "x"
+        assert trie.lookup_longest(A("10.0.1.5")) is None
+
+    def test_insert_delete_stress(self, trie):
+        prefixes = [P("10.%d.%d.0/24" % (i, j)) for i in range(10) for j in range(10)]
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        assert len(trie) == 100
+        for prefix in prefixes[::2]:
+            assert trie.delete(prefix)
+        assert len(trie) == 50
+        for index, prefix in enumerate(prefixes):
+            expected = None if index % 2 == 0 else index
+            assert trie.lookup_exact(prefix) == expected
+
+    def test_clear(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.clear()
+        assert len(trie) == 0 and not trie
+
+
+class TestFamilies:
+    def test_family_locked_on_first_insert(self, trie):
+        trie.insert(P("10.0.0.0/8"), "a")
+        mac_prefix = MacAddress.parse("aa:bb:cc:dd:ee:ff").to_prefix()
+        with pytest.raises(ConfigurationError):
+            trie.insert(mac_prefix, "nope")
+
+    def test_mac_trie(self):
+        trie = PatriciaTrie()
+        mac = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        trie.insert(mac.to_prefix(), "dev")
+        assert trie.lookup_longest(mac)[1] == "dev"
+        other = MacAddress.parse("aa:bb:cc:dd:ee:fe")
+        assert trie.lookup_longest(other) is None
+
+    def test_non_prefix_key_rejected(self, trie):
+        with pytest.raises(ConfigurationError):
+            trie.insert("10.0.0.0/8", "a")
+
+
+class TestIteration:
+    def test_items_yields_all(self, trie):
+        inserted = {P("10.0.0.0/8"): "a", P("10.1.0.0/16"): "b", P("192.168.0.0/16"): "c"}
+        for prefix, value in inserted.items():
+            trie.insert(prefix, value)
+        assert dict(trie.items()) == inserted
+        assert set(trie.keys()) == set(inserted)
+        assert sorted(trie.values()) == ["a", "b", "c"]
+
+    def test_empty_iteration(self, trie):
+        assert list(trie.items()) == []

@@ -1,0 +1,87 @@
+"""Tests for the warehouse workload at small scale (fast, deterministic)."""
+
+import pytest
+
+from repro.workloads.warehouse import (
+    WarehouseBgpRun,
+    WarehouseLispRun,
+    WarehouseScenario,
+)
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return WarehouseScenario(
+        num_source_edges=20, num_hosts=200, moves_per_second=100,
+        monitored_hosts=20, measure_duration_s=0.4, warmup_s=0.1, seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def lisp_run(small_scenario):
+    run = WarehouseLispRun(small_scenario)
+    run.samples = run.run()
+    return run
+
+
+@pytest.fixture(scope="module")
+def bgp_run(small_scenario):
+    run = WarehouseBgpRun(small_scenario)
+    run.samples = run.run()
+    return run
+
+
+class TestScenario:
+    def test_paper_scale_defaults(self):
+        scenario = WarehouseScenario.paper_scale()
+        assert scenario.num_hosts == 16000
+        assert scenario.moves_per_second == 800
+        assert scenario.total_edges == 200
+
+    def test_monitored_capped_at_population(self):
+        scenario = WarehouseScenario(num_hosts=10, monitored_hosts=50)
+        assert scenario.monitored_hosts == 10
+
+
+class TestLispRun:
+    def test_produces_samples(self, lisp_run):
+        assert len(lisp_run.samples) >= 20
+        assert all(delay > 0 for delay in lisp_run.samples)
+
+    def test_all_hosts_onboarded(self, lisp_run):
+        assert all(host.onboarded for host in lisp_run.hosts)
+
+    def test_hosts_split_across_two_edges(self, lisp_run):
+        fabric = lisp_run.fabric
+        edge0 = sum(1 for h in lisp_run.hosts if h.edge is fabric.edges[0])
+        edge1 = sum(1 for h in lisp_run.hosts if h.edge is fabric.edges[1])
+        assert edge0 + edge1 == len(lisp_run.hosts)
+        assert edge0 > 0 and edge1 > 0
+
+    def test_mobility_registers_happened(self, lisp_run):
+        stats = lisp_run.fabric.routing_server.stats
+        assert stats.mobility_registers >= 30
+        # Fig. 5 step 2: every mobility register notified one old edge.
+        assert stats.notifies_sent == stats.mobility_registers
+
+    def test_handover_delay_magnitude(self, lisp_run):
+        """LISP handovers complete within a few ms (detect+auth+register)."""
+        median = sorted(lisp_run.samples)[len(lisp_run.samples) // 2]
+        assert 0.5e-3 < median < 10e-3
+
+
+class TestBgpRun:
+    def test_produces_samples(self, bgp_run):
+        assert len(bgp_run.samples) >= 20
+
+    def test_reflector_fanout_accounting(self, bgp_run):
+        reflector = bgp_run.reflector
+        assert reflector.advertisements_received >= 30
+        per_move = reflector.updates_pushed / reflector.advertisements_received
+        # Fan-out reaches every peer except the originator.
+        assert per_move >= reflector.peer_count - 3
+
+    def test_bgp_slower_than_lisp(self, lisp_run, bgp_run):
+        lisp_median = sorted(lisp_run.samples)[len(lisp_run.samples) // 2]
+        bgp_median = sorted(bgp_run.samples)[len(bgp_run.samples) // 2]
+        assert bgp_median > 2 * lisp_median

@@ -1,0 +1,99 @@
+"""Unit tests for workload generators (traffic machinery + small runs)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim import SeededRng
+from repro.workloads.traffic import FlowGenerator, PopularityModel
+from repro.workloads.campus import BUILDING_A, BUILDING_B, CampusProfile, CampusWorkload
+
+
+class TestPopularityModel:
+    def test_requires_candidates(self):
+        with pytest.raises(ConfigurationError):
+            PopularityModel([], SeededRng(1))
+
+    def test_skew_concentrates_picks(self):
+        rng = SeededRng(1)
+        model = PopularityModel(list(range(50)), rng, skew=1.5)
+        picks = [model.pick() for _ in range(2000)]
+        assert picks.count(0) > picks.count(25)
+
+    def test_all_candidates_reachable(self):
+        rng = SeededRng(1)
+        model = PopularityModel(["a", "b", "c"], rng, skew=0.1)
+        seen = {model.pick() for _ in range(500)}
+        assert seen == {"a", "b", "c"}
+
+
+class TestFlowGenerator:
+    def test_fires_while_active(self, sim):
+        fired = []
+        gen = FlowGenerator(sim, "ep", lambda: 10.0, lambda e: fired.append(sim.now),
+                            SeededRng(2))
+        gen.start()
+        sim.run(until=2.0)
+        assert len(fired) > 5
+        assert gen.flows_fired == len(fired)
+
+    def test_stop_halts(self, sim):
+        fired = []
+        gen = FlowGenerator(sim, "ep", lambda: 10.0, lambda e: fired.append(1),
+                            SeededRng(2))
+        gen.start()
+        sim.run(until=1.0)
+        gen.stop()
+        count = len(fired)
+        sim.run(until=5.0)
+        assert len(fired) == count
+
+    def test_zero_rate_idles_without_busy_loop(self, sim):
+        fired = []
+        gen = FlowGenerator(sim, "ep", lambda: 0.0, lambda e: fired.append(1),
+                            SeededRng(2))
+        gen.start()
+        processed = sim.run(until=3600.0)
+        assert fired == []
+        assert processed < 20   # idle polls only
+
+    def test_double_start_is_noop(self, sim):
+        gen = FlowGenerator(sim, "ep", lambda: 1.0, lambda e: None, SeededRng(2))
+        gen.start()
+        gen.start()
+        assert gen.active
+
+
+class TestCampusProfiles:
+    def test_table4_shapes(self):
+        assert BUILDING_A.num_borders == 1 and BUILDING_A.num_edges == 7
+        assert BUILDING_B.num_borders == 2 and BUILDING_B.num_edges == 6
+        assert BUILDING_A.total_endpoints == 150
+        assert BUILDING_B.total_endpoints == 450
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ConfigurationError):
+            CampusWorkload(BUILDING_A, time_scale=0)
+
+
+@pytest.mark.slow
+class TestCampusRunSmall:
+    def test_two_day_run_produces_series(self):
+        profile = CampusProfile("mini", num_borders=1, num_edges=3,
+                                mobile=20, desktops=5, iot=3, servers=2,
+                                attendance=0.8)
+        workload = CampusWorkload(profile, seed=3, time_scale=48.0)
+        border, edge = workload.run(weeks=1)
+        assert len(border) == len(edge) > 100
+        summary = workload.summarize()
+        assert summary["border"]["all"] > 0
+        # Always-on population bounds the nighttime border FIB from below.
+        assert summary["border"]["night"] >= 5 + 3 + 2 - 2   # slack for timing
+
+    def test_border_day_exceeds_night(self):
+        profile = CampusProfile("mini2", num_borders=1, num_edges=3,
+                                mobile=30, desktops=4, iot=2, servers=2,
+                                attendance=0.9)
+        workload = CampusWorkload(profile, seed=4, time_scale=48.0)
+        workload.run(weeks=1)
+        summary = workload.summarize()
+        assert summary["border"]["day"] > summary["border"]["night"]
