@@ -12,9 +12,12 @@ deterministic discrete-event simulator:
 * a VXLAN-GPO data plane with edge/border routers, reactive route
   resolution with default-to-border fallback, L3 mobility and L2 services;
 * a link-state underlay with reachability tracking;
+* a multi-site fabric: sites federated over a LISP transit with an
+  aggregates-only transit control plane, group tags carried across
+  sites in the data plane, and home-border-anchored inter-site roaming;
 * the paper's baselines (proactive BGP with a route reflector, a
-  centralized WLAN controller) and both evaluation workloads
-  (campus FIB study, warehouse massive mobility).
+  centralized WLAN controller) and the evaluation workloads
+  (campus FIB study, warehouse massive mobility, distributed campus).
 
 Quickstart::
 
@@ -57,6 +60,11 @@ from repro.fabric import (
     Endpoint,
 )
 from repro.lisp import RoutingServer, MapCache, MappingDatabase, MappingRecord
+from repro.multisite import (
+    MultiSiteNetwork,
+    MultiSiteConfig,
+    TransitControlPlane,
+)
 from repro.policy import (
     PolicyServer,
     SegmentationPlan,
@@ -91,6 +99,9 @@ __all__ = [
     "MapCache",
     "MappingDatabase",
     "MappingRecord",
+    "MultiSiteNetwork",
+    "MultiSiteConfig",
+    "TransitControlPlane",
     "PolicyServer",
     "SegmentationPlan",
     "ConnectivityMatrix",

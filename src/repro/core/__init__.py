@@ -5,6 +5,7 @@ identifiers, group identifiers, endpoint identities, and the exception
 hierarchy used throughout the library.
 """
 
+from repro.core.counters import Counters
 from repro.core.errors import (
     ReproError,
     ConfigurationError,
@@ -26,6 +27,7 @@ from repro.core.types import (
 )
 
 __all__ = [
+    "Counters",
     "ReproError",
     "ConfigurationError",
     "AuthenticationError",

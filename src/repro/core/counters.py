@@ -1,0 +1,41 @@
+"""Declarative event-counter bundles shared by fabric devices.
+
+Every router and server in the simulation exposes a block of integer
+counters (packets in, drops by cause, control messages by type).  The
+seed grew three hand-rolled variants of the same class; this module is
+the single shape they all share: subclasses list their field names in
+``FIELDS`` and get zero-initialisation, ``as_dict`` and ``reset`` for
+free, so experiments can diff/aggregate any device's counters uniformly.
+"""
+
+from __future__ import annotations
+
+
+class Counters:
+    """Base class for a fixed set of named integer counters.
+
+    Subclasses declare ``FIELDS`` (a tuple of attribute names); instances
+    start every field at zero.  Fields remain plain attributes, so hot
+    paths keep doing ``counters.policy_drops += 1`` with no indirection.
+    """
+
+    FIELDS = ()
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def as_dict(self):
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def reset(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def __repr__(self):
+        nonzero = ", ".join(
+            "%s=%d" % (field, getattr(self, field))
+            for field in self.FIELDS
+            if getattr(self, field)
+        )
+        return "%s(%s)" % (type(self).__name__, nonzero or "all zero")

@@ -10,12 +10,29 @@ Same functions as an edge with two differences (sec. 3.3):
 
 The border is deliberately "more powerful" in the paper; here that shows
 up as the FIB occupancy the fig. 9 experiment counts on the border side.
+
+In a multi-site fabric the border additionally faces the **transit**
+(:mod:`repro.multisite`): it registers the site's EID aggregates with the
+transit control plane, resolves remote destinations to *site* borders
+(aggregate granularity only), and re-encapsulates traffic onto the
+transit underlay, preserving the VXLAN-GPO group tag so the destination
+site's edge can enforce policy.  It also anchors endpoints that roamed to
+other sites via an away-table (home-border hairpin, like the WLC anchor
+the paper compares against — but with per-site state only).
 """
 
 from __future__ import annotations
 
+from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
+from repro.lisp.mapcache import MapCache
 from repro.lisp.messages import (
+    AwayRegister,
+    AwayUnregister,
+    MapRegister,
+    MapReply,
+    MapRequest,
+    MapUnregister,
     PublishUpdate,
     SolicitMapRequest,
     SubscribeRequest,
@@ -28,15 +45,26 @@ from repro.net.vxlan import VXLAN_PORT, decapsulate, encapsulate
 from repro.policy.acl import GroupAcl
 
 
-class BorderRouterCounters:
-    def __init__(self):
-        self.packets_in = 0
-        self.relayed_to_edge = 0
-        self.sent_external = 0
-        self.no_route_drops = 0
-        self.ttl_drops = 0
-        self.policy_drops = 0
-        self.publishes_received = 0
+class BorderRouterCounters(Counters):
+    """Border data/control plane statistics (site side + transit side)."""
+
+    FIELDS = (
+        "packets_in",
+        "relayed_to_edge",
+        "sent_external",
+        "no_route_drops",
+        "ttl_drops",
+        "policy_drops",
+        "publishes_received",
+        # -- transit path (multi-site) --
+        "transit_in",
+        "transit_reencapsulated",
+        "transit_drops",
+        "transit_requests_sent",
+        "away_announcements_sent",
+        "away_registers_received",
+        "away_unregisters_received",
+    )
 
 
 class BorderRouter:
@@ -57,6 +85,15 @@ class BorderRouter:
         self._external = {}     # vn int -> PatriciaTrie of external prefixes
         self.acl = GroupAcl()
         self.counters = BorderRouterCounters()
+        # -- transit side (populated by connect_transit) --
+        self.transit = None           # transit UnderlayNetwork
+        self.transit_rloc = None
+        self.transit_map_server_rloc = None
+        self.transit_pending_limit = 16
+        self._site_register_rlocs = ()
+        self.transit_cache = None     # MapCache of EID aggregate -> site rloc
+        self._transit_pending = {}    # (vn int, eid prefix) -> [thunk(rloc or None)]
+        self._away = {}               # (vn int, eid prefix) -> away transit rloc
         underlay.attach(rloc, node, self._on_packet)
 
     def subscribe(self):
@@ -66,6 +103,63 @@ class BorderRouter:
             self.rloc, self.routing_server_rloc,
             control_packet(self.rloc, self.routing_server_rloc, message),
         )
+
+    # -- transit attachment (multi-site) -------------------------------------------
+    def connect_transit(self, transit, transit_rloc, transit_node,
+                        transit_map_server_rloc, site_register_rlocs=(),
+                        pending_limit=16, negative_ttl=15.0):
+        """Attach this border to the inter-site transit underlay.
+
+        ``site_register_rlocs`` are this site's routing servers — the away
+        anchor registers roamed-out endpoints there so intra-site traffic
+        reaches the border for hairpinning.
+        """
+        if self.transit is not None:
+            raise ConfigurationError("%s already transit-connected" % self.name)
+        self.transit = transit
+        self.transit_rloc = transit_rloc
+        self.transit_map_server_rloc = transit_map_server_rloc
+        self._site_register_rlocs = tuple(site_register_rlocs)
+        self.transit_pending_limit = pending_limit
+        # Site aggregates are long-lived (the reply's TTL governs);
+        # negative results get the same short TTL edges use, so traffic
+        # to unassigned space cannot turn into per-packet transit load.
+        self.transit_cache = MapCache(self.sim, negative_ttl=negative_ttl)
+        transit.attach(transit_rloc, transit_node, self._on_transit_packet)
+
+    def register_transit_aggregate(self, vn, prefix):
+        """Register one of the site's coarse EID aggregates at the transit."""
+        if self.transit is None:
+            raise ConfigurationError("%s is not transit-connected" % self.name)
+        register = MapRegister(vn, prefix, self.transit_rloc, group=None)
+        self._send_transit(self.transit_map_server_rloc, register)
+
+    def announce_away(self, vn, eid, group=None):
+        """Tell the EID's home border the endpoint now lives in this site.
+
+        The home border's transit RLOC comes from transit resolution of
+        the EID itself (its covering aggregate names the home site), so
+        no side-channel site directory is needed.
+        """
+        def deliver(home_rloc, vn=vn, eid=eid, group=group):
+            if home_rloc is None or home_rloc == self.transit_rloc:
+                return
+            self.counters.away_announcements_sent += 1
+            self._send_transit(home_rloc, AwayRegister(vn, eid, self.transit_rloc,
+                                                       group=group))
+        self._transit_resolve(vn, eid.address, deliver)
+
+    def announce_return(self, vn, eid):
+        """Tell the EID's home border the endpoint left this site again."""
+        def deliver(home_rloc, vn=vn, eid=eid):
+            if home_rloc is None or home_rloc == self.transit_rloc:
+                return
+            self.counters.away_announcements_sent += 1
+            self._send_transit(home_rloc, AwayUnregister(vn, eid, self.transit_rloc))
+        self._transit_resolve(vn, eid.address, deliver)
+
+    def away_count(self):
+        return len(self._away)
 
     # -- external routes -----------------------------------------------------------
     def add_external_route(self, vn, prefix, label="internet"):
@@ -109,6 +203,12 @@ class BorderRouter:
             encapsulate(packet, self.rloc, record.rloc, vn, src_group)
             self.underlay.send(self.rloc, record.rloc, packet)
             return
+        if record is not None and record.rloc == self.rloc and self.transit is not None:
+            # A record pointing at ourselves is either a delegated
+            # aggregate (destination lives in another site) or an away
+            # anchor (our endpoint roamed out) — both exit via the transit.
+            self._transit_forward(vn, src_group, packet, inner)
+            return
         label = self.external_route_for(vn, dst)
         if label is not None:
             self.counters.sent_external += 1
@@ -134,6 +234,176 @@ class BorderRouter:
         encapsulate(packet, self.rloc, record.rloc, vn, group)
         self.underlay.send(self.rloc, record.rloc, packet)
         return True
+
+    # -- transit data plane ---------------------------------------------------------------
+    def _transit_forward(self, vn, src_group, packet, inner):
+        """Send an overlay packet towards the site currently serving ``dst``.
+
+        The away-table (per-endpoint, this site's own roamers only) wins
+        over aggregate resolution; unresolved destinations buffer a
+        bounded number of packets while the transit map-request runs.
+        """
+        away = self._away.get((int(vn), inner.dst.to_prefix()))
+        if away is not None:
+            self._transit_send(away, vn, src_group, packet, inner)
+            return
+        entry = self.transit_cache.lookup(vn, inner.dst)
+        if entry is not None:
+            if entry.negative or entry.rloc == self.transit_rloc:
+                # Known-unassigned space, or our own aggregate with no
+                # local registration: unreachable either way.
+                self.counters.transit_drops += 1
+                return
+            self._transit_send(entry.rloc, vn, src_group, packet, inner)
+            return
+
+        def replay(rloc, vn=vn, group=src_group, packet=packet, inner=inner):
+            if rloc is None or rloc == self.transit_rloc:
+                self.counters.transit_drops += 1
+            else:
+                self._transit_send(rloc, vn, group, packet, inner)
+        self._transit_resolve(vn, inner.dst, replay)
+
+    def _transit_send(self, remote_rloc, vn, group, packet, inner):
+        """Re-encapsulate onto the transit, carrying the GPO group tag."""
+        if inner.ttl <= 1:
+            self.counters.ttl_drops += 1
+            return
+        inner.ttl -= 1
+        self.counters.transit_reencapsulated += 1
+        encapsulate(packet, self.transit_rloc, remote_rloc, vn, group)
+        self.transit.send(self.transit_rloc, remote_rloc, packet)
+
+    def _on_transit_packet(self, packet):
+        udp = packet.find(UdpHeader)
+        if udp is not None and udp.dst_port == VXLAN_PORT:
+            self._handle_transit_data(packet)
+        else:
+            self._handle_transit_control(packet.payload)
+
+    def _handle_transit_data(self, packet):
+        """Traffic arriving from another site: relay into the fabric.
+
+        The group tag decapsulated here is the *source* endpoint's — it is
+        re-carried on the site leg so the destination edge's egress stage
+        enforces the connectivity matrix exactly as for local traffic.
+        """
+        self.counters.transit_in += 1
+        vxlan = decapsulate(packet)
+        vn, src_group = vxlan.vni, vxlan.group
+        inner = packet.inner_ip()
+        if inner is None:
+            self.counters.transit_drops += 1
+            return
+        record = self.synced.lookup(vn, inner.dst)
+        if record is not None and record.rloc != self.rloc:
+            if inner.ttl <= 1:
+                self.counters.ttl_drops += 1
+                return
+            inner.ttl -= 1
+            self.counters.relayed_to_edge += 1
+            encapsulate(packet, self.rloc, record.rloc, vn, src_group)
+            self.underlay.send(self.rloc, record.rloc, packet)
+            return
+        # Not here: the endpoint may have roamed onward to a third site.
+        away = self._away.get((int(vn), inner.dst.to_prefix()))
+        if away is not None and away != self.transit_rloc:
+            self._transit_send(away, vn, src_group, packet, inner)
+            return
+        self.counters.transit_drops += 1
+
+    # -- transit resolution ---------------------------------------------------------------
+    def _transit_resolve(self, vn, address, thunk):
+        """Resolve ``address``'s site via the transit; run ``thunk(rloc)``.
+
+        Resolution is aggregate-granular: the reply's EID is the covering
+        site prefix, so one round trip resolves a whole site.  Thunks
+        queue (bounded) while a request for the same EID is in flight.
+        """
+        cached = self.transit_cache.lookup(vn, address)
+        if cached is not None:
+            thunk(None if cached.negative else cached.rloc)
+            return
+        key = (int(vn), address.to_prefix())
+        pending = self._transit_pending.get(key)
+        if pending is not None:
+            if len(pending) < self.transit_pending_limit:
+                pending.append(thunk)
+            else:
+                self.counters.transit_drops += 1
+            return
+        self._transit_pending[key] = [thunk]
+        self.counters.transit_requests_sent += 1
+        request = MapRequest(vn, address.to_prefix(), reply_to=self.transit_rloc)
+        self._send_transit(self.transit_map_server_rloc, request)
+
+    def _handle_transit_reply(self, reply):
+        if reply.is_negative:
+            self.transit_cache.install_negative(reply.vn, reply.eid,
+                                                ttl=reply.negative_ttl)
+        else:
+            record = reply.record
+            self.transit_cache.install(reply.vn, record.eid, record.rloc,
+                                       version=record.version, ttl=record.ttl)
+        covering = reply.eid if reply.is_negative else reply.record.eid
+        resolved = [
+            key for key in self._transit_pending
+            if key[0] == int(reply.vn)
+            and key[1].family == covering.family
+            and covering.contains(key[1])
+        ]
+        target = None if reply.is_negative else reply.record.rloc
+        for key in resolved:
+            for thunk in self._transit_pending.pop(key):
+                thunk(target)
+
+    def _handle_transit_control(self, message):
+        if message.kind == MapReply.kind:
+            self._handle_transit_reply(message)
+        elif message.kind == AwayRegister.kind:
+            self._handle_away_register(message)
+        elif message.kind == AwayUnregister.kind:
+            self._handle_away_unregister(message)
+        # Unknown kinds are ignored (forward compatibility).
+
+    def _handle_away_register(self, message):
+        """Home-side anchor install (the fig. 5 notify, stretched inter-site).
+
+        Registering the EID against *ourselves* in the site's routing
+        servers steers intra-site senders (and the pub/sub-synced borders)
+        to this border, which hairpins over the transit — per-endpoint
+        roaming state stays inside the two sites involved.
+        """
+        self.counters.away_registers_received += 1
+        self._away[(int(message.vn), message.eid)] = message.away_rloc
+        for server_rloc in self._site_register_rlocs:
+            register = MapRegister(message.vn, message.eid, self.rloc,
+                                   message.group, mobility=True)
+            self.underlay.send(
+                self.rloc, server_rloc,
+                control_packet(self.rloc, server_rloc, register),
+            )
+
+    def _handle_away_unregister(self, message):
+        self.counters.away_unregisters_received += 1
+        current = self._away.get((int(message.vn), message.eid))
+        if current != message.away_rloc:
+            return  # superseded by a move to a third site
+        del self._away[(int(message.vn), message.eid)]
+        for server_rloc in self._site_register_rlocs:
+            # Guarded by our own RLOC: a racing home re-attach (the edge's
+            # fresh registration) is never torn down.
+            unregister = MapUnregister(message.vn, message.eid, self.rloc)
+            self.underlay.send(
+                self.rloc, server_rloc,
+                control_packet(self.rloc, server_rloc, unregister),
+            )
+
+    def _send_transit(self, dst_rloc, message):
+        self.transit.send(
+            self.transit_rloc, dst_rloc,
+            control_packet(self.transit_rloc, dst_rloc, message),
+        )
 
     # -- control plane --------------------------------------------------------------------
     def _handle_control(self, message):

@@ -16,6 +16,7 @@ stale-mapping refresh (fig. 6).
 
 from __future__ import annotations
 
+from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.lisp.mapcache import MapCache
 from repro.lisp.messages import (
@@ -41,30 +42,31 @@ ENFORCE_INGRESS = "ingress"
 PORT_DELAY_S = 20e-6
 
 
-class EdgeRouterCounters:
+class EdgeRouterCounters(Counters):
     """Per-edge data/control plane statistics."""
 
-    def __init__(self):
-        self.packets_in = 0
-        self.packets_out = 0
-        self.local_deliveries = 0
-        self.encapsulated = 0
-        self.to_border_default = 0
-        self.policy_drops = 0
-        self.ingress_policy_drops = 0
-        self.ttl_drops = 0
-        self.stale_deliveries = 0
-        self.reforwarded = 0
-        self.smr_sent = 0
-        self.smr_received = 0
-        self.map_requests_sent = 0
-        self.map_registers_sent = 0
-        self.notifies_received = 0
-        self.auth_requests_sent = 0
-        self.unreachable_fallbacks = 0
-        self.map_request_retries_sent = 0
-        self.map_request_timeouts = 0
-        self.miss_drops = 0
+    FIELDS = (
+        "packets_in",
+        "packets_out",
+        "local_deliveries",
+        "encapsulated",
+        "to_border_default",
+        "policy_drops",
+        "ingress_policy_drops",
+        "ttl_drops",
+        "stale_deliveries",
+        "reforwarded",
+        "smr_sent",
+        "smr_received",
+        "map_requests_sent",
+        "map_registers_sent",
+        "notifies_received",
+        "auth_requests_sent",
+        "unreachable_fallbacks",
+        "map_request_retries_sent",
+        "map_request_timeouts",
+        "miss_drops",
+    )
 
 
 class EdgeRouter:

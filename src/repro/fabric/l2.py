@@ -16,6 +16,7 @@ forwarding over the same map-cache machinery the L3 path uses.
 
 from __future__ import annotations
 
+from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.lisp.messages import MapRequest, control_packet
 from repro.net.packet import (
@@ -28,16 +29,17 @@ from repro.net.packet import (
 from repro.net.vxlan import encapsulate
 
 
-class L2GatewayCounters:
-    def __init__(self):
-        self.arp_requests_seen = 0
-        self.arp_suppressed_locally = 0
-        self.arp_converted_unicast = 0
-        self.arp_pending_resolution = 0
-        self.frames_forwarded = 0
-        self.frames_delivered = 0
-        self.frames_flooded_local = 0
-        self.unknown_unicast_drops = 0
+class L2GatewayCounters(Counters):
+    FIELDS = (
+        "arp_requests_seen",
+        "arp_suppressed_locally",
+        "arp_converted_unicast",
+        "arp_pending_resolution",
+        "frames_forwarded",
+        "frames_delivered",
+        "frames_flooded_local",
+        "unknown_unicast_drops",
+    )
 
 
 class L2Gateway:

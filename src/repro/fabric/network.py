@@ -42,7 +42,8 @@ class FabricConfig:
                  link_delay_s=50e-6, link_bandwidth_bps=10e9,
                  use_igp=True, l2_services=False,
                  underlay_jitter_s=20e-6,
-                 register_families=("ipv4", "ipv6", "mac"), seed=42):
+                 register_families=("ipv4", "ipv6", "mac"), seed=42,
+                 mac_block=0):
         if num_borders < 1:
             raise ConfigurationError("a fabric needs at least one border")
         if num_edges < 1:
@@ -63,6 +64,9 @@ class FabricConfig:
         self.underlay_jitter_s = underlay_jitter_s
         self.register_families = tuple(register_families)
         self.seed = seed
+        #: disjoint MAC numbering block (multi-site: one block per site so
+        #: endpoints minted by different fabrics never collide on MAC)
+        self.mac_block = mac_block
 
 
 #: RLOC numbering plan: infra services, borders and edges live in 192.168/16.
@@ -163,7 +167,8 @@ class FabricNetwork:
             self.edges.append(edge)
 
         self._endpoints = {}
-        self._mac_counter = 0x02_00_00_00_00_00   # locally administered
+        # Locally administered MACs, offset by the fabric's numbering block.
+        self._mac_counter = 0x02_00_00_00_00_00 + (cfg.mac_block << 24)
 
         # Bring the control plane up: IGP convergence + border pubsub.
         self.settle()
@@ -213,6 +218,24 @@ class FabricNetwork:
         self._mac_counter += 1
         endpoint = Endpoint(identity, MacAddress(self._mac_counter), secret=secret, sink=sink)
         self._endpoints[identity] = endpoint
+        return endpoint
+
+    def adopt_endpoint(self, endpoint, group, vn):
+        """Enroll an endpoint minted by another fabric into this one.
+
+        Multi-site federation: the same identity (and device object) is
+        known to every site's policy server, so the endpoint can
+        authenticate wherever it attaches.  No new device is created and
+        no DHCP pool is touched — on a cross-site attach, L3 mobility
+        keeps the address the home site leased.
+        """
+        if endpoint.identity in self._endpoints:
+            raise ConfigurationError("duplicate endpoint identity %r" % endpoint.identity)
+        group_obj = self.plan.group_by_name(group) if isinstance(group, str) else self.plan.group(group)
+        vn_id = vn if isinstance(vn, VNId) else VNId(vn)
+        self.policy_server.enroll(endpoint.identity, endpoint.secret,
+                                  group_obj.group_id, vn_id)
+        self._endpoints[endpoint.identity] = endpoint
         return endpoint
 
     def endpoint(self, identity):

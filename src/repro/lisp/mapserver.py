@@ -24,6 +24,7 @@ the fig. 7c behaviour (delay grows with queries/s as the queue builds).
 
 from __future__ import annotations
 
+from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.lisp.messages import (
     MapNotify,
@@ -40,30 +41,19 @@ from repro.lisp.records import MappingDatabase, MappingRecord
 from repro.sim.rng import SeededRng
 
 
-class RoutingServerStats:
+class RoutingServerStats(Counters):
     """Counters exposed for the experiments."""
 
-    def __init__(self):
-        self.requests = 0
-        self.registers = 0
-        self.mobility_registers = 0
-        self.unregisters = 0
-        self.negative_replies = 0
-        self.notifies_sent = 0
-        self.publishes_sent = 0
-        self.max_queue_depth = 0
-
-    def as_dict(self):
-        return {
-            "requests": self.requests,
-            "registers": self.registers,
-            "mobility_registers": self.mobility_registers,
-            "unregisters": self.unregisters,
-            "negative_replies": self.negative_replies,
-            "notifies_sent": self.notifies_sent,
-            "publishes_sent": self.publishes_sent,
-            "max_queue_depth": self.max_queue_depth,
-        }
+    FIELDS = (
+        "requests",
+        "registers",
+        "mobility_registers",
+        "unregisters",
+        "negative_replies",
+        "notifies_sent",
+        "publishes_sent",
+        "max_queue_depth",
+    )
 
 
 class RoutingServer:
@@ -210,6 +200,26 @@ class RoutingServer:
             self._send(subscriber_rloc, PublishUpdate(vn, eid, payload))
 
     # -- direct API (setup & benchmarks) --------------------------------------------------
+    def install_delegate(self, vn, prefix, rloc, ttl=None):
+        """Delegate a coarse EID prefix to another device (multi-site).
+
+        Any lookup under ``prefix`` without a more-specific registration
+        resolves to ``rloc`` — in a multi-site fabric that is the local
+        border, which owns transit-side resolution.  Installed at
+        configuration time (not via the message queue) and pushed to
+        pub/sub subscribers so borders learn their own delegation.
+        """
+        if prefix.is_host:
+            raise ConfigurationError(
+                "delegate prefix %s is a host route; delegation is for aggregates"
+                % prefix
+            )
+        record = MappingRecord(vn, prefix, rloc, registered_at=self.sim.now,
+                               ttl=ttl)
+        self.database.register(record)
+        self._publish(record.vn, prefix, record)
+        return record
+
     def preload(self, records):
         """Install mappings without simulation (experiment setup)."""
         for record in records:

@@ -162,6 +162,52 @@ class SolicitMapRequest(ControlMessage):
         self.eid = eid
 
 
+class AwayRegister(ControlMessage):
+    """Foreign-site border -> home-site border: your endpoint roamed here.
+
+    Sent over the transit when an endpoint whose EID belongs to the home
+    site's aggregate attaches at another site.  The home border anchors
+    the EID (registers it against itself in the home site's routing
+    servers) and hairpins traffic to ``away_rloc`` — so the transit
+    map-server itself never learns per-endpoint state.
+    """
+
+    __slots__ = ("vn", "eid", "away_rloc", "group")
+
+    kind = "away-register"
+
+    def __init__(self, vn, eid, away_rloc, group=None, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        #: transit-side RLOC of the border now serving the endpoint
+        self.away_rloc = away_rloc
+        self.group = group
+
+    def __repr__(self):
+        return "AwayRegister(vn=%d, %s -> %s)" % (
+            int(self.vn), self.eid, self.away_rloc
+        )
+
+
+class AwayUnregister(ControlMessage):
+    """Foreign-site border -> home-site border: the endpoint left again.
+
+    The home border drops its away-table entry and withdraws the anchor
+    registration (guarded, so a racing home re-attach is never undone).
+    """
+
+    __slots__ = ("vn", "eid", "away_rloc")
+
+    kind = "away-unregister"
+
+    def __init__(self, vn, eid, away_rloc, nonce=None):
+        super().__init__(nonce)
+        self.vn = vn
+        self.eid = eid
+        self.away_rloc = away_rloc
+
+
 class SubscribeRequest(ControlMessage):
     """Border -> server: push me every mapping change (lisp-pubsub)."""
 

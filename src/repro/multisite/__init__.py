@@ -1,0 +1,31 @@
+"""Multi-site fabric: sites federated over a LISP transit.
+
+The paper's deployment experience covers distributed campuses: several
+SD-Access fabric sites stitched together over a transit network, with
+the control plane federated (per-site routing servers + an aggregates-only
+transit map-server) and group tags carried end-to-end so policy enforces
+at the destination site.
+
+* :class:`TransitControlPlane` — the transit map-server; holds per-site
+  EID aggregates, never per-endpoint state (enforced).
+* :class:`MultiSiteNetwork` — the operator facade; mirrors the
+  single-site :class:`~repro.fabric.network.FabricNetwork` API so
+  examples and experiments compose unchanged.
+* Transit-facing border behaviour (re-encapsulation, away anchoring)
+  lives on :class:`~repro.fabric.border.BorderRouter`.
+"""
+
+from repro.multisite.transit import TransitControlPlane, TransitStats
+from repro.multisite.network import (
+    MultiSiteConfig,
+    MultiSiteNetwork,
+    split_prefix,
+)
+
+__all__ = [
+    "TransitControlPlane",
+    "TransitStats",
+    "MultiSiteConfig",
+    "MultiSiteNetwork",
+    "split_prefix",
+]

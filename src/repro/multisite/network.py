@@ -1,0 +1,381 @@
+"""MultiSiteNetwork: several fabric sites federated over a LISP transit.
+
+The distributed-campus deployment of the paper: every building/campus is
+a full SDA fabric site (its own underlay, routing servers, policy server,
+borders, edges), stitched together by a transit underlay and a
+:class:`~repro.multisite.transit.TransitControlPlane`.  The facade
+mirrors the :class:`~repro.fabric.network.FabricNetwork` verbs
+(``define_vn`` / ``define_group`` / ``allow`` / ``create_endpoint`` /
+``admit`` / ``roam`` / ``send`` / ``settle``), so examples and
+experiments written against one site compose unchanged against many.
+
+Design decisions (documented per the deployment-experience spirit):
+
+* **Address plan.**  ``define_vn`` splits the VN prefix into equal
+  per-site aggregates; each site's DHCP pool draws from its own slice.
+  The aggregates are exactly what the site border registers with the
+  transit — the transit never sees more specific state.
+* **Map-server delegation.**  Each site's routing servers carry one
+  delegate record per VN — the whole VN prefix pointing at the site
+  border — so any destination without a local registration resolves to
+  the border, which owns transit-side (aggregate-granular) resolution.
+  This extends the paper's default-route-to-border design (sec. 3.2.2)
+  across sites: first packets of inter-site flows are buffered briefly at
+  the border instead of lost.
+* **Inter-site policy: group tag in the data plane.**  Of the two
+  options — SXP sessions exporting per-endpoint bindings between site
+  policy servers, or carrying the source GroupId in the VXLAN-GPO header
+  across the transit with destination-side enforcement — this facade
+  uses the **tag-in-dataplane** model: the border re-encapsulates with
+  the original group tag, and the destination site's edge runs the same
+  egress enforcement as for local traffic (sec. 5.3's enforcement point).
+  It needs zero per-endpoint signaling between sites; only the intent
+  (groups + connectivity matrix) is replicated to every site's policy
+  server by the facade, which is a configuration-time operation.
+  Operator-published SXP *bindings* still propagate between sites via
+  :meth:`~repro.policy.sxp.SxpSpeaker.connect_export` for border
+  classification use-cases.
+* **Inter-site roaming: home-border anchoring.**  An endpoint keeps its
+  IP when it roams to another site (L3 mobility, sessions survive).  The
+  foreign border announces the move to the home border over the transit
+  (``AwayRegister``); the home border anchors the EID — registers it
+  against itself in the home site's routing servers and hairpins traffic
+  over the transit — so per-endpoint roaming state lives only in the two
+  sites involved, never in the transit.  IPv4 EIDs anchor this mechanism
+  (v6/MAC EIDs re-register site-locally), matching how deployments pin
+  roaming to the routed family.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import VNId
+from repro.fabric.endpoint import Endpoint
+from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.multisite.transit import TransitControlPlane
+from repro.net.addresses import IPv4Address, Prefix
+from repro.net.packet import make_udp_packet
+from repro.sim.simulator import Simulator
+from repro.underlay.network import UnderlayNetwork
+from repro.underlay.topology import Topology
+
+#: Transit RLOC plan: 172.16/12 is the inter-site space.
+_TRANSIT_CP_RLOC = "172.16.255.1"
+_TRANSIT_SITE_BASE = 0xAC100001   # 172.16.0.1, site i at 172.16.i.1
+
+
+def split_prefix(prefix, count):
+    """Split a prefix into ``count`` equal site aggregates (power-of-two).
+
+    Returns a list of ``count`` sub-prefixes; with ``count == 1`` the
+    prefix itself.  The split width is ``ceil(log2(count))`` bits.
+    """
+    if count < 1:
+        raise ConfigurationError("cannot split %s into %d parts" % (prefix, count))
+    extra = (count - 1).bit_length()
+    length = prefix.length + extra
+    if length > prefix.bits:
+        raise ConfigurationError(
+            "prefix %s too small for %d site aggregates" % (prefix, count)
+        )
+    step = 1 << (prefix.bits - length)
+    family_cls = type(prefix.address)
+    base = int(prefix.address)
+    return [Prefix(family_cls(base + i * step), length) for i in range(count)]
+
+
+class MultiSiteConfig:
+    """Knobs for a federated deployment (per-site shape + transit)."""
+
+    def __init__(self, num_sites=3, edges_per_site=4, borders_per_site=1,
+                 routing_servers_per_site=1, enforcement="egress",
+                 map_cache_ttl=1200.0, negative_ttl=15.0,
+                 link_delay_s=50e-6, transit_delay_s=2e-3,
+                 transit_bandwidth_bps=10e9, transit_jitter_s=20e-6,
+                 transit_pending_limit=16,
+                 register_families=("ipv4", "ipv6", "mac"), seed=42):
+        if num_sites < 1:
+            raise ConfigurationError("a multi-site fabric needs at least one site")
+        self.num_sites = num_sites
+        self.edges_per_site = edges_per_site
+        self.borders_per_site = borders_per_site
+        self.routing_servers_per_site = routing_servers_per_site
+        self.enforcement = enforcement
+        self.map_cache_ttl = map_cache_ttl
+        self.negative_ttl = negative_ttl
+        self.link_delay_s = link_delay_s
+        self.transit_delay_s = transit_delay_s
+        self.transit_bandwidth_bps = transit_bandwidth_bps
+        self.transit_jitter_s = transit_jitter_s
+        self.transit_pending_limit = transit_pending_limit
+        self.register_families = tuple(register_families)
+        self.seed = seed
+
+    def site_config(self, index):
+        return FabricConfig(
+            num_borders=self.borders_per_site,
+            num_edges=self.edges_per_site,
+            num_routing_servers=self.routing_servers_per_site,
+            enforcement=self.enforcement,
+            map_cache_ttl=self.map_cache_ttl,
+            negative_ttl=self.negative_ttl,
+            link_delay_s=self.link_delay_s,
+            register_families=self.register_families,
+            seed=self.seed + 97 * index,
+            mac_block=index,
+        )
+
+
+class MultiSiteNetwork:
+    """N fabric sites + transit underlay + transit control plane."""
+
+    def __init__(self, config=None, sim=None):
+        self.config = config or MultiSiteConfig()
+        self.sim = sim or Simulator()
+        cfg = self.config
+
+        self.sites = [
+            FabricNetwork(cfg.site_config(index), sim=self.sim)
+            for index in range(cfg.num_sites)
+        ]
+
+        transit_topology, _cores, access = Topology.transit_hub(
+            cfg.num_sites, delay_s=cfg.transit_delay_s,
+            bandwidth_bps=cfg.transit_bandwidth_bps,
+        )
+        self.transit_topology = transit_topology
+        self.transit_underlay = UnderlayNetwork(
+            self.sim, transit_topology,
+            extra_delay_jitter_s=cfg.transit_jitter_s, seed=cfg.seed + 5,
+        )
+        self.transit = TransitControlPlane(
+            self.sim, self.transit_underlay,
+            rloc=IPv4Address.parse(_TRANSIT_CP_RLOC), node=_cores[0],
+            seed=cfg.seed + 6,
+        )
+
+        #: site index -> the site's transit-facing border (border 0)
+        self.transit_borders = []
+        for index, site in enumerate(self.sites):
+            border = site.borders[0]
+            border.connect_transit(
+                self.transit_underlay,
+                IPv4Address(_TRANSIT_SITE_BASE + (index << 8)),
+                access[index],
+                self.transit.rloc,
+                site_register_rlocs=[s.rloc for s in site.routing_servers],
+                pending_limit=cfg.transit_pending_limit,
+                negative_ttl=cfg.negative_ttl,
+            )
+            self.transit_borders.append(border)
+
+        # Inter-site SXP: full-mesh binding export between site speakers.
+        for a in self.sites:
+            for b in self.sites:
+                if a is not b:
+                    a.sxp.connect_export(b.sxp)
+
+        self._endpoints = {}
+        self._vn_site_prefixes = {}   # vn int -> [per-site Prefix]
+        self._location = {}           # identity -> site index
+        self._foreign_site = {}       # identity -> foreign site index (away)
+
+    # ------------------------------------------------------------------ site addressing
+    def site_index(self, site):
+        if isinstance(site, int):
+            if not 0 <= site < len(self.sites):
+                raise ConfigurationError("no site %d" % site)
+            return site
+        try:
+            return self.sites.index(site)
+        except ValueError:
+            raise ConfigurationError("unknown site %r" % (site,))
+
+    def site_of_endpoint(self, endpoint):
+        """Site currently hosting the endpoint (``None`` when detached)."""
+        index = self._location.get(endpoint.identity)
+        return None if index is None else self.sites[index]
+
+    def home_site_index(self, endpoint):
+        """The site whose aggregate leased the endpoint's IP."""
+        if endpoint.ip is None or endpoint.vn is None:
+            raise ConfigurationError(
+                "endpoint %s not onboarded yet" % endpoint.identity
+            )
+        prefixes = self._vn_site_prefixes.get(int(endpoint.vn), ())
+        for index, prefix in enumerate(prefixes):
+            if prefix.contains(endpoint.ip):
+                return index
+        raise ConfigurationError(
+            "endpoint %s IP %s outside every site aggregate"
+            % (endpoint.identity, endpoint.ip)
+        )
+
+    def site_aggregates(self, vn):
+        return list(self._vn_site_prefixes.get(int(vn), ()))
+
+    # ------------------------------------------------------------------ operator verbs
+    def define_vn(self, name, vn_id, prefix):
+        """Create a VN fabric-wide: per-site pools + transit aggregates."""
+        if not isinstance(prefix, Prefix):
+            prefix = Prefix.parse(prefix)
+        key = int(vn_id)
+        if key in self._vn_site_prefixes:
+            raise ConfigurationError("VN %d already defined" % key)
+        site_prefixes = split_prefix(prefix, len(self.sites))
+        self._vn_site_prefixes[key] = site_prefixes
+        vns = []
+        for index, site in enumerate(self.sites):
+            vns.append(site.define_vn(name, vn_id, site_prefixes[index]))
+            border = self.transit_borders[index]
+            border.register_transit_aggregate(vn_id, site_prefixes[index])
+            # Delegation: anything in the VN without a local registration
+            # resolves to the site border (which resolves the site over
+            # the transit) — sec. 3.2.2's default route, stretched.
+            for server in site.routing_servers:
+                server.install_delegate(vn_id, prefix, border.rloc)
+        return vns[0]
+
+    def define_group(self, name, group_id, vn_id):
+        groups = [site.define_group(name, group_id, vn_id) for site in self.sites]
+        return groups[0]
+
+    def allow(self, src_group, dst_group, symmetric=True):
+        for site in self.sites:
+            site.allow(src_group, dst_group, symmetric=symmetric)
+
+    def deny(self, src_group, dst_group, symmetric=True):
+        for site in self.sites:
+            site.deny(src_group, dst_group, symmetric=symmetric)
+
+    def create_endpoint(self, identity, group, vn, secret="secret", sink=None):
+        """Enroll an identity fabric-wide (every site's policy server)."""
+        if identity in self._endpoints:
+            raise ConfigurationError("duplicate endpoint identity %r" % identity)
+        endpoint = self.sites[0].create_endpoint(identity, group, vn,
+                                                 secret=secret, sink=sink)
+        for site in self.sites[1:]:
+            site.adopt_endpoint(endpoint, group, vn)
+        self._endpoints[identity] = endpoint
+        return endpoint
+
+    def endpoint(self, identity):
+        try:
+            return self._endpoints[identity]
+        except KeyError:
+            raise ConfigurationError("unknown endpoint %r" % identity)
+
+    def endpoints(self):
+        return list(self._endpoints.values())
+
+    # ------------------------------------------------------------------ runtime verbs
+    def admit(self, endpoint, site, edge=0, on_complete=None):
+        """Attach an endpoint to an edge of a site and run onboarding."""
+        index = self.site_index(site)
+
+        def wrapped(ep, accepted, index=index, on_complete=on_complete):
+            if accepted:
+                self._after_attach(ep, index)
+            if on_complete is not None:
+                on_complete(ep, accepted)
+
+        self.sites[index].admit(endpoint, edge, on_complete=wrapped)
+
+    def roam(self, endpoint, site, edge=0, on_complete=None):
+        """Move an endpoint to (possibly) another site, keeping its IP."""
+        index = self.site_index(site)
+        old_index = self._location.get(endpoint.identity)
+        if old_index == index:
+            def wrapped(ep, accepted, index=index, on_complete=on_complete):
+                if accepted:
+                    self._after_attach(ep, index)
+                if on_complete is not None:
+                    on_complete(ep, accepted)
+            self.sites[index].roam(endpoint, edge, on_complete=wrapped)
+            return
+        # Cross-site: the new site's registration cannot Map-Notify the
+        # old site's edge (separate control planes), so the old site sees
+        # an explicit departure; the away anchor re-routes afterwards.
+        if endpoint.edge is not None:
+            endpoint.edge.detach_endpoint(endpoint, deregister=True)
+        self.admit(endpoint, index, edge, on_complete=on_complete)
+
+    def depart(self, endpoint):
+        """Endpoint leaves the deployment entirely."""
+        index = self._location.pop(endpoint.identity, None)
+        if endpoint.edge is not None:
+            endpoint.edge.detach_endpoint(endpoint, deregister=True)
+        foreign = self._foreign_site.pop(endpoint.identity, None)
+        if foreign is not None and endpoint.ip is not None:
+            self.transit_borders[foreign].announce_return(
+                endpoint.vn, endpoint.ip.to_prefix()
+            )
+
+    def send(self, src_endpoint, dst, size=1500, payload=None):
+        """Inject one overlay packet (same contract as FabricNetwork)."""
+        dst_ip = dst.ip if isinstance(dst, Endpoint) else dst
+        if src_endpoint.ip is None:
+            raise ConfigurationError(
+                "endpoint %s not onboarded yet" % src_endpoint.identity
+            )
+        packet = make_udp_packet(src_endpoint.ip, dst_ip, 40000, 40000,
+                                 payload=payload, size=size)
+        src_endpoint.send(packet)
+        return packet
+
+    # ------------------------------------------------------------------ roaming plumbing
+    def _after_attach(self, endpoint, site_index):
+        """Post-onboarding bookkeeping: away announce / return announce."""
+        self._location[endpoint.identity] = site_index
+        home = self.home_site_index(endpoint)
+        previous_foreign = self._foreign_site.get(endpoint.identity)
+        eid = endpoint.ip.to_prefix()
+        if site_index != home:
+            # Foreign attach: this site's border tells the home border.
+            self._foreign_site[endpoint.identity] = site_index
+            self.transit_borders[site_index].announce_away(
+                endpoint.vn, eid, group=endpoint.group
+            )
+        elif previous_foreign is not None:
+            # Home again: the site it just left withdraws the anchor.
+            del self._foreign_site[endpoint.identity]
+            self.transit_borders[previous_foreign].announce_return(
+                endpoint.vn, eid
+            )
+
+    # ------------------------------------------------------------------ simulation control
+    def settle(self, max_time=60.0):
+        """Run until the event queue drains (bounded by ``max_time``)."""
+        deadline = self.sim.now + max_time
+        while self.sim.pending:
+            if self.sim.now >= deadline:
+                break
+            self.sim.run(until=min(deadline, self.sim.now + 1.0))
+
+    def run_for(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+    # ------------------------------------------------------------------ metrics
+    def fib_snapshot(self, family="ipv4"):
+        return {site_index: site.fib_snapshot(family)
+                for site_index, site in enumerate(self.sites)}
+
+    def total_policy_drops(self):
+        return sum(site.total_policy_drops() for site in self.sites)
+
+    def transit_message_count(self):
+        """Transit map-server load plus border-side transit signaling."""
+        total = self.transit.stats.total_messages()
+        for border in self.transit_borders:
+            total += (border.counters.transit_requests_sent
+                      + border.counters.away_announcements_sent)
+        return total
+
+    def transit_counters(self):
+        return {index: border.counters.as_dict()
+                for index, border in enumerate(self.transit_borders)}
+
+    def __repr__(self):
+        return "MultiSiteNetwork(sites=%d, endpoints=%d, aggregates=%d)" % (
+            len(self.sites), len(self._endpoints), self.transit.aggregate_count
+        )

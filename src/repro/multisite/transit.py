@@ -1,0 +1,83 @@
+"""The transit control plane: a map-server that only knows aggregates.
+
+Federating fabric sites over a LISP transit (the paper's distributed
+campuses) hinges on one scaling property: the transit's mapping state is
+**per-site, not per-endpoint**.  Each site's border registers the site's
+coarse EID aggregates (the per-site slice of every VN prefix); a
+cross-site Map-Request resolves to the *site border's transit RLOC* at
+aggregate granularity, and the destination site's own control plane does
+the final EID-to-edge hop.  Endpoint churn — onboarding, roaming,
+departure — therefore never touches the transit, which is what lets the
+site count scale without the transit becoming a second centralized
+routing server.
+
+:class:`TransitControlPlane` reuses the routing server's queueing/service
+model (its delay behaviour under load is the same fig. 7 story) but
+rejects host-route registrations outright: the aggregates-only invariant
+is enforced, not assumed.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.lisp.mapserver import RoutingServer, RoutingServerStats
+from repro.lisp.records import MappingRecord
+
+
+class TransitStats(RoutingServerStats):
+    """Routing-server counters plus the aggregates-only enforcement count."""
+
+    FIELDS = RoutingServerStats.FIELDS + ("rejected_registers",)
+
+    def total_messages(self):
+        """Control messages the transit processed or emitted — the
+        horizontal-scaling benchmark's cost metric."""
+        return (self.requests + self.registers + self.unregisters
+                + self.rejected_registers + self.negative_replies
+                + self.notifies_sent + self.publishes_sent)
+
+
+class TransitControlPlane(RoutingServer):
+    """Map-server/resolver for the inter-site transit (aggregates only)."""
+
+    def __init__(self, sim, underlay=None, rloc=None, node=None,
+                 base_service_s=300e-6, per_bit_service_s=1.5e-6,
+                 service_jitter_s=30e-6, seed=17):
+        super().__init__(sim, underlay=underlay, rloc=rloc, node=node,
+                         base_service_s=base_service_s,
+                         per_bit_service_s=per_bit_service_s,
+                         service_jitter_s=service_jitter_s, seed=seed)
+        self.stats = TransitStats()
+
+    # -- aggregates-only enforcement ------------------------------------------------
+    def _process_register(self, register):
+        if register.eid.is_host:
+            # A border (or bug) tried to leak endpoint state into the
+            # transit; refuse and count it.  The away-anchor mechanism
+            # exists precisely so this is never necessary.
+            self.stats.rejected_registers += 1
+            return
+        super()._process_register(register)
+
+    def register_aggregate(self, vn, prefix, site_rloc):
+        """Direct-call registration for setup code and tests."""
+        if prefix.is_host:
+            raise ConfigurationError(
+                "transit map-server only accepts aggregates, got host route %s"
+                % prefix
+            )
+        record = MappingRecord(vn, prefix, site_rloc, registered_at=self.sim.now)
+        self.database.register(record)
+        return record
+
+    def site_for(self, vn, address):
+        """Resolve an EID to its owning site's transit RLOC (or ``None``)."""
+        record = self.database.lookup(vn, address)
+        return record.rloc if record is not None else None
+
+    @property
+    def aggregate_count(self):
+        return len(self.database)
+
+    def __repr__(self):
+        return "TransitControlPlane(aggregates=%d)" % len(self.database)

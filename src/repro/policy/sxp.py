@@ -68,9 +68,12 @@ class SxpSpeaker:
         self._peers = {}          # peer rloc -> set of hosted dst groups
         self._binding_peers = set()
         self._bindings = {}       # (vn int, prefix) -> SxpBinding
+        self._imported = set()    # binding keys learned from another site
+        self._exports = []        # remote-site speakers we export to
         self.updates_sent = 0
         self.rule_updates_sent = 0
         self.binding_updates_sent = 0
+        self.export_updates_sent = 0
 
     # -- peer management ---------------------------------------------------------
     def add_peer(self, peer_rloc, wants_bindings=False):
@@ -94,20 +97,74 @@ class SxpSpeaker:
     def peer_hosts_group(self, peer_rloc, group):
         return int(group) in self._peers.get(peer_rloc, set())
 
+    # -- inter-site export (multi-site fabrics) ----------------------------------
+    def connect_export(self, remote_speaker):
+        """Export locally published bindings to another site's speaker.
+
+        This is the sec. 3.2.1 SXP session stretched between site policy
+        servers: bindings published here re-publish at the remote site
+        (flagged imported, so they never bounce back — split horizon).
+        Existing local bindings replay on connect, like an SXP session
+        coming up.
+        """
+        if remote_speaker is self:
+            raise PolicyError("SXP speaker cannot export to itself")
+        if remote_speaker in self._exports:
+            return
+        self._exports.append(remote_speaker)
+        for key, binding in self._bindings.items():
+            if key not in self._imported:
+                self.export_updates_sent += 1
+                remote_speaker.receive_export(binding)
+
+    def receive_export(self, binding, withdrawn=False):
+        """Install (or withdraw) a binding learned from a remote site."""
+        key = (int(binding.vn), binding.prefix)
+        if withdrawn:
+            if key not in self._imported:
+                # Locally (re)published since the import: this site owns
+                # the binding now; a remote withdrawal does not apply.
+                return
+            # Key stays in _imported through the withdraw so it is not
+            # re-exported back towards its origin (split horizon).
+            self.withdraw_binding(binding.vn, binding.prefix)
+            self._imported.discard(key)
+            return
+        self._imported.add(key)
+        self._install_binding(binding)
+
     # -- bindings ----------------------------------------------------------------
     def publish_binding(self, binding):
-        self._bindings[(int(binding.vn), binding.prefix)] = binding
+        # A local publish (re)claims ownership of the key, so later
+        # updates export again even if the key was once imported.
+        self._imported.discard((int(binding.vn), binding.prefix))
+        self._install_binding(binding)
+
+    def _install_binding(self, binding):
+        key = (int(binding.vn), binding.prefix)
+        self._bindings[key] = binding
         for peer in self._binding_peers:
             self._send(peer, SxpUpdate(binding=binding))
             self.binding_updates_sent += 1
+        if key not in self._imported:
+            for remote in self._exports:
+                self.export_updates_sent += 1
+                remote.receive_export(binding)
 
     def withdraw_binding(self, vn, prefix):
-        binding = self._bindings.pop((int(vn), prefix), None)
+        key = (int(vn), prefix)
+        binding = self._bindings.pop(key, None)
         if binding is None:
             return False
         for peer in self._binding_peers:
             self._send(peer, SxpUpdate(binding=binding, withdrawn=True))
             self.binding_updates_sent += 1
+        if key in self._imported:
+            self._imported.discard(key)
+        else:
+            for remote in self._exports:
+                self.export_updates_sent += 1
+                remote.receive_export(binding, withdrawn=True)
         return True
 
     def binding_for(self, vn, address):

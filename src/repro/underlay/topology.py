@@ -140,3 +140,31 @@ class Topology:
                 topo.add_link(leaf, spine, metric=spine_leaf_metric,
                               delay_s=delay_s, bandwidth_bps=bandwidth_bps)
         return topo, spines, leaves
+
+    @classmethod
+    def transit_hub(cls, num_sites, num_cores=2, metric=10,
+                    delay_s=2e-3, bandwidth_bps=10e9):
+        """The inter-site transit: core routers, one access node per site.
+
+        Each site's transit-facing border attaches at its access node;
+        access nodes connect to every core (redundant WAN/metro links).
+        The default 2 ms link delay is the distributed-campus scale the
+        paper's deployments stitch sites over — three orders of magnitude
+        above the intra-site 50 us links, which is why first-packet
+        behaviour across sites is worth its own experiment.
+        """
+        if num_sites < 1:
+            raise ConfigurationError("transit needs at least one site")
+        topo = cls()
+        cores = ["transit-core-%d" % i for i in range(max(1, num_cores))]
+        access = ["transit-site-%d" % i for i in range(num_sites)]
+        for name in cores + access:
+            topo.add_node(name)
+        for i in range(len(cores) - 1):
+            topo.add_link(cores[i], cores[i + 1], metric=metric,
+                          delay_s=delay_s, bandwidth_bps=bandwidth_bps)
+        for node in access:
+            for core in cores:
+                topo.add_link(node, core, metric=metric,
+                              delay_s=delay_s, bandwidth_bps=bandwidth_bps)
+        return topo, cores, access

@@ -4,6 +4,8 @@
   traffic model behind fig. 9 / table 5 (FIB state study).
 * :mod:`repro.workloads.warehouse` — the 16,000-robot, 800-moves/s
   massive-mobility scenario behind fig. 11 (handover delay, LISP vs BGP).
+* :mod:`repro.workloads.distributed_campus` — N federated sites with an
+  inter-site traffic mix and cross-site roaming (multi-site subsystem).
 * :mod:`repro.workloads.traffic` — shared flow/popularity machinery.
 """
 
@@ -19,8 +21,14 @@ from repro.workloads.warehouse import (
     WarehouseLispRun,
     WarehouseBgpRun,
 )
+from repro.workloads.distributed_campus import (
+    DistributedCampusProfile,
+    DistributedCampusWorkload,
+)
 
 __all__ = [
+    "DistributedCampusProfile",
+    "DistributedCampusWorkload",
     "FlowGenerator",
     "PopularityModel",
     "CampusProfile",

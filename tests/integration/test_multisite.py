@@ -1,0 +1,135 @@
+"""Integration: a 3-site federation — traffic, policy, roaming, state.
+
+The acceptance scenario for the multi-site subsystem: cross-site flows
+in both policy directions, an endpoint roaming between sites with its
+sessions surviving, and the aggregates-only invariant at the transit.
+"""
+
+import pytest
+
+from repro.multisite import MultiSiteConfig, MultiSiteNetwork
+
+VN = 4098
+
+
+@pytest.fixture
+def campus():
+    """Three sites; employees->printers allowed, cameras isolated."""
+    net = MultiSiteNetwork(MultiSiteConfig(num_sites=3, edges_per_site=2, seed=23))
+    net.define_vn("corp", VN, "10.8.0.0/16")
+    net.define_group("employees", 10, VN)
+    net.define_group("printers", 20, VN)
+    net.define_group("cameras", 30, VN)
+    net.allow("employees", "printers")
+    net.settle()
+    return net
+
+
+def _admit(net, endpoint, site, edge=0):
+    outcome = []
+    net.admit(endpoint, site, edge, on_complete=lambda e, ok: outcome.append(ok))
+    net.settle()
+    assert outcome and outcome[0], "onboarding failed for %s" % endpoint.identity
+    return endpoint
+
+
+def test_three_site_lifecycle(campus):
+    net = campus
+    alice = net.create_endpoint("alice", "employees", VN)
+    printer = net.create_endpoint("printer", "printers", VN)
+    camera = net.create_endpoint("camera", "cameras", VN)
+    _admit(net, alice, 0, 0)
+    _admit(net, printer, 1, 1)
+    _admit(net, camera, 2, 0)
+
+    # -- cross-site, policy allowed: delivered end to end ------------------
+    net.send(alice, printer)
+    net.settle()
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received == 2
+    # and the reverse direction (symmetric allow) works too
+    net.send(printer, alice.ip)
+    net.settle()
+    assert alice.packets_received == 1
+
+    # -- cross-site, policy denied: group tag crossed the transit and the
+    #    destination edge dropped it --------------------------------------
+    drops_before = net.total_policy_drops()
+    net.send(alice, camera.ip)
+    net.settle()
+    assert camera.packets_received == 0
+    assert net.total_policy_drops() == drops_before + 1
+
+    # -- roam site 0 -> site 1: IP survives, sessions survive --------------
+    ip_before = alice.ip
+    net.roam(alice, 1, 0)
+    net.settle()
+    assert alice.ip == ip_before
+    assert net.site_of_endpoint(alice) is net.sites[1]
+    # traffic towards her old (home-site) address still arrives: the home
+    # border anchors the EID and hairpins over the transit
+    received_before = alice.packets_received
+    net.send(printer, alice.ip)
+    net.settle()
+    assert alice.packets_received == received_before + 1
+    # and she can still talk out
+    net.send(alice, printer)
+    net.settle()
+    assert printer.packets_received == 3
+    # the home border holds the anchor (per-endpoint state stays in-site)
+    assert net.transit_borders[0].away_count() == 1
+
+    # -- roam home again: anchor dissolves ---------------------------------
+    net.roam(alice, 0, 1)
+    net.settle()
+    assert alice.ip == ip_before
+    assert net.transit_borders[0].away_count() == 0
+    net.send(printer, alice.ip)
+    net.settle()
+    assert alice.packets_received == received_before + 2
+
+    # -- the transit map-server never learned a host route ----------------
+    records = list(net.transit.database.records())
+    assert records, "transit should hold the site aggregates"
+    assert all(not record.eid.is_host for record in records)
+    assert len(records) == 3          # one aggregate per site, one VN
+    assert net.transit.stats.rejected_registers == 0
+
+
+def test_roam_to_third_site_rebinds_anchor(campus):
+    net = campus
+    alice = net.create_endpoint("alice", "employees", VN)
+    printer = net.create_endpoint("printer", "printers", VN)
+    _admit(net, alice, 0, 0)
+    _admit(net, printer, 1, 0)
+
+    net.roam(alice, 1)
+    net.settle()
+    net.roam(alice, 2)   # onward, without going home first
+    net.settle()
+    assert net.site_of_endpoint(alice) is net.sites[2]
+    net.send(printer, alice.ip)
+    net.settle()
+    assert alice.packets_received == 1
+    # still exactly one anchor, now pointing at site 2
+    border0 = net.transit_borders[0]
+    assert border0.away_count() == 1
+    key = (VN, alice.ip.to_prefix())
+    assert border0._away[key] == net.transit_borders[2].transit_rloc
+
+
+def test_departure_clears_every_sites_state(campus):
+    net = campus
+    alice = net.create_endpoint("alice", "employees", VN)
+    _admit(net, alice, 0, 0)
+    net.roam(alice, 2)
+    net.settle()
+    net.depart(alice)
+    net.settle()
+    assert net.site_of_endpoint(alice) is None
+    assert net.transit_borders[0].away_count() == 0
+    for site in net.sites:
+        record = site.routing_server.database.lookup(VN, alice.ip)
+        # only the VN delegate aggregate may remain, never the /32
+        assert record is None or not record.eid.is_host

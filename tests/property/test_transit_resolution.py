@@ -1,0 +1,127 @@
+"""Property: two-level (transit + site) resolution equals a flat oracle.
+
+The multi-site control plane splits resolution into transit (EID ->
+owning site, aggregate granularity) and site (EID -> edge RLOC, host
+granularity, with away anchors for roamed-out endpoints).  For any
+random assignment of endpoints to sites — including endpoints roamed
+away from their home aggregate — chasing the two levels must land on
+exactly the RLOC a flat single-database deployment would return.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import VNId
+from repro.lisp.records import MappingDatabase, MappingRecord
+from repro.multisite import TransitControlPlane
+from repro.net.addresses import IPv4Address, Prefix
+from repro.sim import Simulator
+
+VN = VNId(1)
+NUM_SITES = 4
+
+#: Site i owns 10.0.<i*64>.0/18; host h of site i is 10.0.<i*64>.<h+1>.
+_BASE = 0x0A000000
+
+
+def _aggregate(site):
+    return Prefix(IPv4Address(_BASE + (site << 14)), 18)
+
+
+def _host_eid(site, host):
+    return Prefix(IPv4Address(_BASE + (site << 14) + host + 1), 32)
+
+
+def _site_rloc(site):
+    return IPv4Address(0xAC100001 + (site << 8))
+
+
+def _edge_rloc(site, edge):
+    return IPv4Address(0xC0A80001 + (site << 8) + edge)
+
+
+# Each endpoint: (home site, host index, serving site, edge index).
+endpoints = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_SITES - 1),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=NUM_SITES - 1),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=60,
+    unique_by=lambda e: (e[0], e[1]),
+)
+
+
+def _resolve_multisite(transit, site_dbs, away, eid):
+    """The multi-site resolution path, as the data plane walks it.
+
+    1. the transit maps the EID to its home site (aggregate LPM);
+    2. the home site's database maps it to an edge RLOC, or its border's
+       away table redirects to the serving site;
+    3. the serving site's database holds the final edge RLOC.
+    """
+    home_rloc = transit.site_for(VN, eid.address)
+    if home_rloc is None:
+        return None
+    home = next(s for s in range(NUM_SITES) if _site_rloc(s) == home_rloc)
+    record = site_dbs[home].lookup(VN, eid.address)
+    if record is not None and record.eid.is_host:
+        if record.rloc in [_site_rloc(s) for s in range(NUM_SITES)]:
+            # Away anchor: the home border self-registered; hop via the
+            # away table to the serving site.
+            serving_rloc = away[home].get(eid)
+            if serving_rloc is None:
+                return None
+            serving = next(
+                s for s in range(NUM_SITES) if _site_rloc(s) == serving_rloc)
+            remote = site_dbs[serving].lookup(VN, eid.address)
+            return remote.rloc if remote is not None else None
+        return record.rloc
+    return None
+
+
+@given(endpoints)
+@settings(max_examples=150, deadline=None)
+def test_two_level_resolution_matches_flat_oracle(assignments):
+    transit = TransitControlPlane(Simulator(), underlay=None, seed=5)
+    site_dbs = [MappingDatabase() for _ in range(NUM_SITES)]
+    away = [dict() for _ in range(NUM_SITES)]
+    oracle = MappingDatabase()
+
+    for site in range(NUM_SITES):
+        transit.register_aggregate(VN, _aggregate(site), _site_rloc(site))
+
+    for home, host, serving, edge in assignments:
+        eid = _host_eid(home, host)
+        rloc = _edge_rloc(serving, edge)
+        # Flat deployment: one database, host route straight to the edge.
+        oracle.register(MappingRecord(VN, eid, rloc))
+        # Multi-site: the serving site registers the host route...
+        site_dbs[serving].register(MappingRecord(VN, eid, rloc))
+        if serving != home:
+            # ...and when that is not home, the home border anchors the
+            # EID (register-to-self + away-table entry), as AwayRegister
+            # handling does.
+            site_dbs[home].register(MappingRecord(VN, eid, _site_rloc(home)))
+            away[home][eid] = _site_rloc(serving)
+
+    # Every registered endpoint resolves to the oracle's RLOC.
+    for home, host, serving, edge in assignments:
+        eid = _host_eid(home, host)
+        expected = oracle.lookup(VN, eid.address).rloc
+        assert _resolve_multisite(transit, site_dbs, away, eid) == expected
+
+    # Negative space: unassigned EIDs resolve nowhere, both models agree.
+    taken = {(home, host) for home, host, _s, _e in assignments}
+    for site in range(NUM_SITES):
+        for host in range(0, 31, 5):
+            if (site, host) in taken:
+                continue
+            eid = _host_eid(site, host)
+            assert oracle.lookup(VN, eid.address) is None
+            assert _resolve_multisite(transit, site_dbs, away, eid) is None
+
+    # The invariant that makes it scale: transit state is site-bound.
+    assert len(transit.database) == NUM_SITES
+    assert all(not r.eid.is_host for r in transit.database.records())

@@ -1,0 +1,40 @@
+"""Smoke test: every script in examples/ imports and runs to completion.
+
+Examples are documentation that executes; running each in a subprocess
+(the same way a reader would) keeps them from silently rotting as the
+library evolves.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+#: generous ceiling — the heaviest example (campus FIB study) runs weeks
+#: of simulated time and takes ~25 s on a laptop
+TIMEOUT_S = 300
+
+
+def test_examples_directory_is_not_empty():
+    assert EXAMPLES, "examples/ has no scripts to smoke-test"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT), env=env,
+        capture_output=True, text=True, timeout=TIMEOUT_S,
+    )
+    assert result.returncode == 0, (
+        "%s failed\nstdout:\n%s\nstderr:\n%s"
+        % (script.name, result.stdout[-2000:], result.stderr[-2000:])
+    )

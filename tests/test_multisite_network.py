@@ -1,0 +1,175 @@
+"""Unit-level tests for the MultiSiteNetwork facade."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.multisite import MultiSiteConfig, MultiSiteNetwork, split_prefix
+from repro.net.addresses import Prefix
+from repro.policy.sxp import SxpBinding
+
+
+@pytest.fixture
+def duo():
+    """Two sites, one VN, employees<->printers allowed."""
+    net = MultiSiteNetwork(MultiSiteConfig(num_sites=2, edges_per_site=2, seed=11))
+    net.define_vn("corp", 100, "10.4.0.0/16")
+    net.define_group("employees", 1, 100)
+    net.define_group("printers", 2, 100)
+    net.allow("employees", "printers")
+    net.settle()
+    return net
+
+
+def test_split_prefix_shapes():
+    p = Prefix.parse("10.0.0.0/16")
+    assert split_prefix(p, 1) == [p]
+    quarters = split_prefix(p, 4)
+    assert [str(q) for q in quarters] == [
+        "10.0.0.0/18", "10.0.64.0/18", "10.0.128.0/18", "10.0.192.0/18"]
+    # Non-power-of-two rounds the split up; pieces stay disjoint.
+    thirds = split_prefix(p, 3)
+    assert len(thirds) == 3
+    assert len({str(t) for t in thirds}) == 3
+    with pytest.raises(ConfigurationError):
+        split_prefix(Prefix.parse("10.0.0.2/31"), 4)
+
+
+def test_vn_definition_reaches_every_site_and_transit(duo):
+    aggregates = duo.site_aggregates(100)
+    assert [str(a) for a in aggregates] == ["10.4.0.0/17", "10.4.128.0/17"]
+    # Transit learned exactly the two aggregates.
+    records = list(duo.transit.database.records())
+    assert sorted(str(r.eid) for r in records) == ["10.4.0.0/17", "10.4.128.0/17"]
+    # Every site's routing servers delegate the whole VN to their border.
+    for site in duo.sites:
+        for server in site.routing_servers:
+            record = server.database.lookup(100, Prefix.parse("10.4.200.1/32"))
+            assert record is not None
+            assert record.rloc == site.borders[0].rloc
+
+
+def test_endpoints_lease_from_their_sites_aggregate(duo):
+    a = duo.create_endpoint("a", "employees", 100)
+    b = duo.create_endpoint("b", "employees", 100)
+    duo.admit(a, 0)
+    duo.admit(b, 1)
+    duo.settle()
+    assert duo.site_aggregates(100)[0].contains(a.ip)
+    assert duo.site_aggregates(100)[1].contains(b.ip)
+    assert duo.home_site_index(a) == 0
+    assert duo.home_site_index(b) == 1
+    # MAC blocks are disjoint across sites even for facade-minted devices.
+    assert a.mac != b.mac
+
+
+def test_cross_site_traffic_and_counters(duo):
+    a = duo.create_endpoint("a", "employees", 100)
+    p = duo.create_endpoint("p", "printers", 100)
+    duo.admit(a, 0)
+    duo.admit(p, 1)
+    duo.settle()
+    duo.send(a, p)
+    duo.settle()
+    assert p.packets_received == 1
+    border0 = duo.transit_borders[0]
+    border1 = duo.transit_borders[1]
+    assert border0.counters.transit_reencapsulated == 1
+    assert border0.counters.transit_requests_sent == 1
+    assert border1.counters.transit_in == 1
+    # Second packet rides the cached aggregate: no new transit request.
+    duo.send(a, p)
+    duo.settle()
+    assert p.packets_received == 2
+    assert border0.counters.transit_requests_sent == 1
+
+
+def test_unknown_destination_drops_at_transit_granularity(duo):
+    a = duo.create_endpoint("a", "employees", 100)
+    duo.admit(a, 0)
+    duo.settle()
+    # In the remote site's aggregate but never onboarded anywhere.
+    duo.send(a, Prefix.parse("10.4.128.77/32").address)
+    duo.settle()
+    assert duo.transit_borders[1].counters.transit_drops == 1
+
+
+def test_unassigned_space_negative_cached_at_border():
+    """Traffic to VN space no site owns must not melt the transit.
+
+    With 3 sites the VN splits into four aggregates and the fourth is
+    unassigned: the first packet triggers one transit request (negative),
+    later packets die on the cached negative without new requests.
+    """
+    net = MultiSiteNetwork(MultiSiteConfig(num_sites=3, edges_per_site=2, seed=17))
+    net.define_vn("corp", 100, "10.4.0.0/16")
+    net.define_group("employees", 1, 100)
+    net.allow("employees", "employees")
+    a = net.create_endpoint("a", "employees", 100)
+    net.admit(a, 0)
+    net.settle()
+    unassigned = Prefix.parse("10.4.192.9/32").address
+    for _ in range(5):
+        net.send(a, unassigned)
+        net.settle()
+    border = net.transit_borders[0]
+    assert border.counters.transit_requests_sent == 1
+    assert net.transit.stats.negative_replies == 1
+    # all five dropped: one on the negative reply, four on the cache
+    assert border.counters.transit_drops == 5
+
+
+def test_duplicate_identity_rejected(duo):
+    duo.create_endpoint("a", "employees", 100)
+    with pytest.raises(ConfigurationError):
+        duo.create_endpoint("a", "employees", 100)
+
+
+def test_sxp_bindings_export_between_sites(duo):
+    binding = SxpBinding(100, Prefix.parse("10.4.0.0/24"), 1)
+    duo.sites[0].sxp.publish_binding(binding)
+    # The remote site's speaker can classify with the exported binding.
+    remote = duo.sites[1].sxp
+    hit = remote.binding_for(100, Prefix.parse("10.4.0.9/32").address)
+    assert hit is not None and int(hit.group) == 1
+    assert duo.sites[0].sxp.export_updates_sent >= 1
+    # Withdrawal propagates too, and does not echo back (split horizon).
+    duo.sites[0].sxp.publish_binding(binding)
+    assert duo.sites[0].sxp.withdraw_binding(100, binding.prefix)
+    assert remote.binding_for(100, Prefix.parse("10.4.0.9/32").address) is None
+
+
+def test_sxp_local_republish_reclaims_ownership(duo):
+    """A local publish of a once-imported key exports again, and a stale
+    remote withdrawal no longer tears down the local override."""
+    site0, site1 = duo.sites[0].sxp, duo.sites[1].sxp
+    original = SxpBinding(100, Prefix.parse("10.4.2.0/24"), 1)
+    site0.publish_binding(original)
+    # Operator overrides the classification at site 1.
+    override = SxpBinding(100, Prefix.parse("10.4.2.0/24"), 2)
+    site1.publish_binding(override)
+    # The override propagated back to site 0 (ownership reclaimed).
+    hit = site0.binding_for(100, Prefix.parse("10.4.2.9/32").address)
+    assert hit is not None and int(hit.group) == 2
+    # Site 0 withdrawing its long-gone original cannot delete the
+    # override site 1 now owns.
+    site0.withdraw_binding(100, original.prefix)
+    hit = site1.binding_for(100, Prefix.parse("10.4.2.9/32").address)
+    assert hit is not None and int(hit.group) == 2
+
+
+def test_single_site_federation_stays_local():
+    net = MultiSiteNetwork(MultiSiteConfig(num_sites=1, edges_per_site=2, seed=13))
+    net.define_vn("corp", 100, "10.4.0.0/16")
+    net.define_group("employees", 1, 100)
+    net.allow("employees", "employees")
+    a = net.create_endpoint("a", "employees", 100)
+    b = net.create_endpoint("b", "employees", 100)
+    net.admit(a, 0, 0)
+    net.admit(b, 0, 1)
+    net.settle()
+    net.send(a, b)
+    net.settle()
+    assert b.packets_received == 1
+    # Nothing crossed the transit.
+    assert net.transit_borders[0].counters.transit_reencapsulated == 0
+    assert net.transit.stats.requests == 0

@@ -1,0 +1,70 @@
+"""Unit tests: the transit control plane holds aggregates, never hosts."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import VNId
+from repro.lisp.messages import MapRegister, MapRequest
+from repro.multisite import TransitControlPlane
+from repro.net.addresses import IPv4Address, Prefix
+from repro.sim import Simulator
+
+VN = VNId(7)
+
+
+@pytest.fixture
+def transit():
+    return TransitControlPlane(Simulator(), underlay=None, seed=3)
+
+
+def _site_rloc(index):
+    return IPv4Address(0xAC100001 + (index << 8))
+
+
+def test_register_and_resolve_aggregates(transit):
+    transit.register_aggregate(VN, Prefix.parse("10.0.0.0/18"), _site_rloc(0))
+    transit.register_aggregate(VN, Prefix.parse("10.0.64.0/18"), _site_rloc(1))
+    assert transit.aggregate_count == 2
+    assert transit.site_for(VN, IPv4Address.parse("10.0.0.55")) == _site_rloc(0)
+    assert transit.site_for(VN, IPv4Address.parse("10.0.100.1")) == _site_rloc(1)
+    assert transit.site_for(VN, IPv4Address.parse("10.1.0.1")) is None
+
+
+def test_longest_aggregate_wins(transit):
+    transit.register_aggregate(VN, Prefix.parse("10.0.0.0/16"), _site_rloc(0))
+    transit.register_aggregate(VN, Prefix.parse("10.0.128.0/17"), _site_rloc(1))
+    assert transit.site_for(VN, IPv4Address.parse("10.0.1.1")) == _site_rloc(0)
+    assert transit.site_for(VN, IPv4Address.parse("10.0.200.1")) == _site_rloc(1)
+
+
+def test_direct_host_registration_raises(transit):
+    with pytest.raises(ConfigurationError):
+        transit.register_aggregate(VN, Prefix.parse("10.0.0.1/32"), _site_rloc(0))
+
+
+def test_message_host_registration_rejected_and_counted(transit):
+    sim = transit.sim
+    transit.handle_message(
+        MapRegister(VN, Prefix.parse("10.0.0.1/32"), _site_rloc(0), group=None)
+    )
+    sim.run()
+    assert transit.stats.rejected_registers == 1
+    assert transit.aggregate_count == 0
+    # Aggregates through the same path still land.
+    transit.handle_message(
+        MapRegister(VN, Prefix.parse("10.0.0.0/18"), _site_rloc(0), group=None)
+    )
+    sim.run()
+    assert transit.aggregate_count == 1
+    assert transit.stats.registers == 1
+
+
+def test_requests_are_counted(transit):
+    transit.register_aggregate(VN, Prefix.parse("10.0.0.0/18"), _site_rloc(0))
+    transit.handle_message(
+        MapRequest(VN, Prefix.parse("10.0.0.9/32"), reply_to=None)
+    )
+    transit.sim.run()
+    assert transit.stats.requests == 1
+    assert transit.stats.negative_replies == 0
+    assert transit.stats.total_messages() >= 1
