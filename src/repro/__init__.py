@@ -15,9 +15,13 @@ deterministic discrete-event simulator:
 * a multi-site fabric: sites federated over a LISP transit with an
   aggregates-only transit control plane, group tags carried across
   sites in the data plane, and home-border-anchored inter-site roaming;
+* fabric-enabled wireless: a control-plane-only WLC that authenticates
+  stations and registers their location as registrar, APs that
+  VXLAN-GPO-encapsulate locally, and map-server-driven roaming;
 * the paper's baselines (proactive BGP with a route reflector, a
-  centralized WLAN controller) and the evaluation workloads
-  (campus FIB study, warehouse massive mobility, distributed campus).
+  centralized WLAN controller) and the evaluation workloads (campus
+  FIB study, warehouse massive mobility, distributed campus, wireless
+  campus mobility).
 
 Quickstart::
 
@@ -71,8 +75,15 @@ from repro.policy import (
     ConnectivityMatrix,
     GroupAcl,
 )
+from repro.wireless import (
+    FabricAp,
+    FabricWlc,
+    Station,
+    WirelessConfig,
+    WirelessFabric,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GroupId",
@@ -106,5 +117,10 @@ __all__ = [
     "SegmentationPlan",
     "ConnectivityMatrix",
     "GroupAcl",
+    "FabricAp",
+    "FabricWlc",
+    "Station",
+    "WirelessConfig",
+    "WirelessFabric",
     "__version__",
 ]

@@ -20,6 +20,7 @@ benches:
 from __future__ import annotations
 
 from repro.core.errors import ConfigurationError
+from repro.core.queueing import SerialQueue
 
 
 class AccessPointTunnel:
@@ -44,6 +45,32 @@ class AccessPointTunnel:
     def detach_client(self, ip):
         self.clients.pop(ip, None)
         self.controller.unregister_client(ip, self)
+
+    # -- station binding ---------------------------------------------------------------
+    # The same Station objects the fabric-wireless subsystem drives can be
+    # attached here, so ablations compare the two data planes with
+    # *identical* stations (see repro.wireless.plumbing).
+
+    def attach_station(self, station):
+        """Bind a :class:`repro.wireless.Station` to this AP (CAPWAP side)."""
+        if station.ip is None:
+            raise ConfigurationError(
+                "station %s has no IP; CAPWAP runs use static addressing"
+                % station.identity
+            )
+        station.ap = self
+        self.attach_client(station.ip,
+                           lambda packet, now: station.receive(packet, now))
+
+    def detach_station(self, station):
+        if station.ap is self:
+            station.ap = None
+        self.detach_client(station.ip)
+
+    def inject_from_station(self, station, packet):
+        """Station-facing alias of :meth:`inject_from_client`: in the
+        centralized model every packet hairpins through the controller."""
+        self.inject_from_client(packet)
 
     def inject_from_client(self, packet):
         """All client traffic goes to the controller — no local switching."""
@@ -70,13 +97,16 @@ class WlanController:
         self.rloc = rloc
         self.service_s = service_s
         self.handover_service_s = handover_service_s
-        self._busy_until = 0.0
+        self._cpu = SerialQueue(sim)
         self._aps = []
         self._client_ap = {}   # overlay ip -> AccessPointTunnel
         self.packets_processed = 0
         self.handovers_processed = 0
-        self.max_queue_delay_s = 0.0
         underlay.attach(rloc, node, self._on_packet)
+
+    @property
+    def max_queue_delay_s(self):
+        return self._cpu.max_delay_s
 
     def register_ap(self, ap):
         self._aps.append(ap)
@@ -101,11 +131,7 @@ class WlanController:
 
     # -- the bottleneck queue ---------------------------------------------------------
     def _queue(self, service, fn, *args):
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        self._busy_until = start + service
-        self.max_queue_delay_s = max(self.max_queue_delay_s, start - now)
-        self.sim.schedule(self._busy_until - now, fn, *args)
+        self._cpu.submit(service, fn, *args)
 
     def _on_packet(self, packet):
         self._queue(self.service_s, self._forward, packet)

@@ -6,6 +6,7 @@ hierarchy used throughout the library.
 """
 
 from repro.core.counters import Counters
+from repro.core.queueing import SerialQueue
 from repro.core.errors import (
     ReproError,
     ConfigurationError,
@@ -28,6 +29,7 @@ from repro.core.types import (
 
 __all__ = [
     "Counters",
+    "SerialQueue",
     "ReproError",
     "ConfigurationError",
     "AuthenticationError",

@@ -1,0 +1,39 @@
+"""Single-server FIFO work queues (the busy-until model).
+
+Several devices in the reproduction serialize work through one control
+CPU — the centralized WLAN controller (data *and* handover processing),
+the fabric WLC (association processing only) — and the whole point of
+comparing them is the backlog that queue builds.  This module is the
+single copy of that model: work submitted while the server is busy
+starts when the previous item finishes, and the worst queueing delay
+observed is tracked for the experiments.
+"""
+
+from __future__ import annotations
+
+
+class SerialQueue:
+    """One server, FIFO order, deterministic busy-until bookkeeping."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._busy_until = 0.0
+        self.max_delay_s = 0.0
+        self.submitted = 0
+
+    def submit(self, service_s, fn, *args):
+        """Queue ``fn(*args)`` behind current work for ``service_s``.
+
+        Returns the scheduled event (cancellable via the simulator).
+        """
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + service_s
+        self.max_delay_s = max(self.max_delay_s, start - now)
+        self.submitted += 1
+        return self.sim.schedule(self._busy_until - now, fn, *args)
+
+    @property
+    def backlog_s(self):
+        """Work currently queued ahead of a new arrival, in seconds."""
+        return max(0.0, self._busy_until - self.sim.now)

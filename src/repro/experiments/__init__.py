@@ -11,6 +11,7 @@
 | Sec. 5.4 (policy update strategies)        | :mod:`repro.experiments.policy_update` |
 | Sec. 3.2.2 (default-route ablation)        | :mod:`repro.experiments.initial_delay` |
 | Sec. 2 (centralized WLC motivation)        | :mod:`repro.experiments.wlc_ablation` |
+| Fabric wireless (WLC in control plane)     | :mod:`repro.experiments.wireless_handover` |
 
 Every module exposes a ``run_*`` function returning plain dict/list
 results plus a ``format_*`` helper that prints the same rows/series the

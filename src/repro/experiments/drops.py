@@ -21,6 +21,8 @@ destinations, whose rate depends on the user population:
 
 from __future__ import annotations
 
+import zlib
+
 from repro.core.types import GroupId
 from repro.policy.acl import GroupAcl
 from repro.policy.matrix import ConnectivityMatrix, PolicyAction
@@ -75,7 +77,7 @@ def run_device(profile, days=5, num_groups=12, seed=7):
     probability ``novel_denied_rate`` the user tries a denied destination
     and retries ``retry_count`` times before learning better.
     """
-    rng = SeededRng(seed + hash(profile.name) % 1000)
+    rng = SeededRng(seed + zlib.crc32(profile.name.encode("utf-8")) % 1000)
     matrix = _build_matrix(num_groups=num_groups, seed=seed)
     acl = GroupAcl()
     acl.program(matrix.rules())

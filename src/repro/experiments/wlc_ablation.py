@@ -5,12 +5,19 @@ traditional centralized model: "the gateway device becomes a bottleneck
 ... it creates triangular routing because all L3 traffic is forced to go
 to the gateway and then back to the actual destination."
 
-This experiment runs the *same* station-to-station traffic through both
-data planes on the same topology and measures:
+This experiment drives *identical* wireless stations (same placement,
+same Poisson traffic process, same measurement hooks — all from
+:mod:`repro.wireless.plumbing`) through both data planes on the same
+topology shape:
 
-* median delivery delay at increasing offered load — the WLC's single
-  processing queue saturates; SDA's distributed edges do not;
-* path stretch — WLC traffic always transits the controller node.
+* **CAPWAP** — every AP tunnels everything to the WLAN controller's
+  single processing queue (:mod:`repro.baselines.wlc`);
+* **fabric wireless** — APs VXLAN-GPO-encapsulate locally and the WLC
+  stays out of the data path (:mod:`repro.wireless`).
+
+Measured: median delivery delay at increasing offered load (the
+controller queue saturates; the distributed plane does not) and path
+stretch (controller traffic always transits the controller node).
 """
 
 from __future__ import annotations
@@ -18,12 +25,19 @@ from __future__ import annotations
 from repro.baselines.wlc import AccessPointTunnel, WlanController
 from repro.fabric.network import FabricConfig, FabricNetwork
 from repro.net.addresses import IPv4Address
-from repro.net.packet import make_udp_packet
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
 from repro.stats.summaries import boxplot
 from repro.underlay.network import UnderlayNetwork
 from repro.underlay.topology import Topology
+from repro.wireless.deployment import WirelessConfig, WirelessFabric
+from repro.wireless.plumbing import (
+    DelaySamples,
+    PoissonPairTraffic,
+    StationPairPlan,
+    assign_static_ips,
+    make_stations,
+)
 
 VN = 600
 _NUM_APS = 6
@@ -45,84 +59,63 @@ def _measure_wlc(packets_per_second, duration_s=0.5, seed=51):
                           IPv4Address(0xC0A80001 + i))
         for i in range(_NUM_APS)
     ]
-    delays = []
-    pairs = []
-    for index in range(_PAIRS):
-        src_ip = IPv4Address(0x0A000100 + index)
-        dst_ip = IPv4Address(0x0A000200 + index)
-        src_ap = aps[index % _NUM_APS]
-        dst_ap = aps[(index + 1) % _NUM_APS]
-        src_ap.attach_client(src_ip, lambda p, t: None)
-
-        def sink(packet, now, _=None):
-            sent = packet.meta.get("sent_at")
-            if sent is not None:
-                delays.append(now - sent)
-
-        dst_ap.attach_client(dst_ip, sink)
-        pairs.append((src_ap, src_ip, dst_ip))
+    plan = StationPairPlan(_PAIRS, _NUM_APS)
+    samples = DelaySamples(sim)
+    sources = assign_static_ips(
+        make_stations(_PAIRS, prefix="src"), base_ip=0x0A000100)
+    dests = assign_static_ips(
+        make_stations(_PAIRS, prefix="dst", sink=samples.station_sink()),
+        base_ip=0x0A000200)
+    for index, src_ap, dst_ap in plan:
+        aps[src_ap].attach_station(sources[index])
+        aps[dst_ap].attach_station(dests[index])
     sim.run()
 
-    per_pair_rate = packets_per_second / _PAIRS
-
-    def schedule_pair(src_ap, src_ip, dst_ip):
-        def tick():
-            packet = make_udp_packet(src_ip, dst_ip, 1, 2, size=800)
-            packet.meta["sent_at"] = sim.now
-            src_ap.inject_from_client(packet)
-            sim.schedule(rng.expovariate(per_pair_rate), tick)
-        sim.schedule(rng.expovariate(per_pair_rate), tick)
-
-    for src_ap, src_ip, dst_ip in pairs:
-        schedule_pair(src_ap, src_ip, dst_ip)
-    sim.run(until=duration_s)
-    return delays, controller
+    traffic = PoissonPairTraffic(sim, rng, plan.station_pairs(sources, dests),
+                                 packets_per_second, samples=samples)
+    traffic.start()
+    sim.run(until=sim.now + duration_s)
+    traffic.stop()
+    return samples.delays, controller
 
 
 def _measure_sda(packets_per_second, duration_s=0.5, seed=51):
-    """The same pairs on an SDA fabric: distributed edge data plane."""
+    """The same station pairs on fabric wireless: VXLAN-at-the-AP."""
     net = FabricNetwork(FabricConfig(num_borders=1, num_edges=_NUM_APS,
                                      seed=seed))
+    wireless = WirelessFabric(net, WirelessConfig(aps_per_edge=1))
     net.define_vn("wifi", VN, "10.0.0.0/15")
     net.define_group("stations", 1, VN)
     rng = SeededRng(seed)
-    delays = []
+    samples = DelaySamples(net.sim)
 
-    def sink(endpoint, packet, now):
-        sent = packet.meta.get("sent_at")
-        if sent is not None:
-            delays.append(now - sent)
-
-    pairs = []
-    for index in range(_PAIRS):
-        src = net.create_endpoint("src-%d" % index, "stations", VN)
-        dst = net.create_endpoint("dst-%d" % index, "stations", VN, sink=sink)
-        net.admit(src, index % _NUM_APS)
-        net.admit(dst, (index + 1) % _NUM_APS)
-        pairs.append((src, dst))
+    plan = StationPairPlan(_PAIRS, _NUM_APS)
+    sources = [
+        wireless.create_station("src-%d" % index, "stations", VN)
+        for index in range(_PAIRS)
+    ]
+    dests = [
+        wireless.create_station("dst-%d" % index, "stations", VN,
+                                sink=samples.station_sink())
+        for index in range(_PAIRS)
+    ]
+    for index, src_ap, dst_ap in plan:
+        wireless.associate(sources[index], src_ap)
+        wireless.associate(dests[index], dst_ap)
     net.settle(max_time=120.0)
 
     # Warm the map-caches so the comparison is steady-state data plane.
-    for src, dst in pairs:
+    for src, dst in plan.station_pairs(sources, dests):
         net.send(src, dst)
     net.settle()
 
-    sim = net.sim
-    per_pair_rate = packets_per_second / _PAIRS
-
-    def schedule_pair(src, dst):
-        def tick():
-            packet = make_udp_packet(src.ip, dst.ip, 1, 2, size=800)
-            packet.meta["sent_at"] = sim.now
-            src.send(packet)
-            sim.schedule(rng.expovariate(per_pair_rate), tick)
-        sim.schedule(rng.expovariate(per_pair_rate), tick)
-
-    end = sim.now + duration_s
-    for src, dst in pairs:
-        schedule_pair(src, dst)
-    sim.run(until=end)
-    return delays
+    traffic = PoissonPairTraffic(net.sim, rng,
+                                 plan.station_pairs(sources, dests),
+                                 packets_per_second, samples=samples)
+    traffic.start()
+    net.sim.run(until=net.sim.now + duration_s)
+    traffic.stop()
+    return samples.delays
 
 
 def run_bottleneck_sweep(rates=(2000, 12000, 36000), duration_s=0.4, seed=51):

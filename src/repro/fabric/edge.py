@@ -60,6 +60,8 @@ class EdgeRouterCounters(Counters):
         "smr_received",
         "map_requests_sent",
         "map_registers_sent",
+        "wireless_in",
+        "wireless_installs",
         "notifies_received",
         "auth_requests_sent",
         "unreachable_fallbacks",
@@ -125,6 +127,7 @@ class EdgeRouter:
 
         self.rebooting = False
         self._ports = {}          # port -> endpoint
+        self._aps = {}            # name -> FabricAp VXLAN-tunneling here
         self._next_port = 1
         self._pending_auth = {}   # nonce -> (endpoint, port, roaming, callback)
         self._pending_resolution = {}  # (vn int, eid) -> count of packets since request
@@ -294,6 +297,66 @@ class EdgeRouter:
             eids.append(endpoint.mac.to_prefix())
         return eids
 
+    # ------------------------------------------------------------------ fabric wireless
+    def attach_ap(self, ap):
+        """A fabric-enabled AP VXLAN-tunnels station traffic to this edge.
+
+        The AP is a data-plane extension of the edge: it encapsulates
+        locally (no controller hairpin) and its stations appear in this
+        edge's VRF exactly like wired endpoints — but their control-plane
+        onboarding is driven by the WLC, not by the edge's own
+        authentication path.
+        """
+        if ap.name in self._aps:
+            raise ConfigurationError(
+                "AP %s already attached to %s" % (ap.name, self.name)
+            )
+        self._aps[ap.name] = ap
+
+    def receive_from_ap(self, packet):
+        """Upstream station traffic, VXLAN-GPO-encapsulated at the AP."""
+        if self.rebooting:
+            return
+        vxlan = decapsulate(packet)
+        self.counters.packets_in += 1
+        self.counters.wireless_in += 1
+        self._forward_overlay(vxlan.vni, vxlan.group, packet)
+
+    def install_wireless_endpoint(self, station, vn, group, rules, port=None):
+        """WLC-proxied onboarding: install forwarding state only.
+
+        The WLC already ran authentication, SGT assignment, DHCP and the
+        Map-Register (as registrar); the edge's part is the VRF entry,
+        the egress rule rows, and — because the station is local now —
+        dropping any map-cache leftovers that still claim it is remote.
+        """
+        if self.rebooting:
+            raise ConfigurationError("%s is rebooting" % self.name)
+        existing = self.vrf.lookup_identity(station.identity)
+        if existing is not None:
+            self.vrf.update_group(station.identity, group)
+            self.acl.program(rules)
+            station.edge = self
+            return existing
+        entry = LocalEndpointEntry(
+            station, vn, group, port or self.allocate_port(),
+            station.ip, ipv6=station.ipv6, mac=station.mac,
+        )
+        self.vrf.add(entry)
+        self.acl.program(rules)
+        for eid in self._endpoint_eids(station):
+            self.map_cache.invalidate(vn, eid)
+        station.edge = self
+        self.counters.wireless_installs += 1
+        return entry
+
+    def remove_wireless_endpoint(self, station):
+        """Station left the wireless fabric (WLC-driven disassociation)."""
+        removed = self.vrf.remove(station.identity)
+        if station.edge is self:
+            station.edge = None
+        return removed
+
     # ------------------------------------------------------------------ ingress pipeline
     def inject_from_endpoint(self, endpoint, packet):
         """Entry point for endpoint traffic (fig. 4 ingress pipeline)."""
@@ -312,8 +375,11 @@ class EdgeRouter:
         dst = inner.dst
 
         # Local destination: short-circuit through the egress stage.
+        # A VRF entry whose endpoint already left (a wireless radio gone
+        # mid-roam — the entry lingers until the fig. 5 notify) is not
+        # local anymore; fall through to the overlay path instead.
         local = self.vrf.lookup_ip(vn, dst)
-        if local is not None:
+        if local is not None and local.endpoint.edge is self:
             self._egress_deliver(vn, src_group, local, packet)
             return
 
@@ -412,13 +478,15 @@ class EdgeRouter:
             return
         dst = inner.dst
         local = self.vrf.lookup_ip(vn, dst)
-        if local is not None:
+        if local is not None and local.endpoint.edge is self:
             self._egress_deliver(vn, src_group, local, packet,
                                  policy_applied=vxlan.policy_applied)
             return
-        # Stale delivery: the endpoint is not here (it moved, or we
-        # rebooted and lost our state).  Fig. 6: tell the sender to
-        # refresh, and forward the packet towards the new location.
+        # Stale delivery: the endpoint is not here (it moved — possibly
+        # with its VRF entry still lingering until the Map-Notify lands,
+        # the wireless roam window — or we rebooted and lost our state).
+        # Fig. 6: tell the sender to refresh, and forward the packet
+        # towards the new location.
         self.counters.stale_deliveries += 1
         if outer_src != self.border_rloc:
             self.counters.smr_sent += 1
@@ -513,6 +581,11 @@ class EdgeRouter:
         # The endpoint may still be in our VRF if the move raced detection.
         entry = self.vrf.lookup_ip(notify.vn, record.eid.address)
         if entry is not None and record.rloc != self.rloc:
+            if entry.endpoint.edge is self:
+                # Delayed notify from an *earlier* move: the endpoint
+                # already came back and was re-installed here.  Evicting
+                # the fresh entry would blackhole it at its own edge.
+                return
             self.vrf.remove(entry.endpoint.identity)
         if record.rloc != self.rloc:
             ttl = min(record.ttl, self.map_cache.default_ttl)

@@ -176,6 +176,12 @@ class FabricNetwork:
             border.subscribe()
         self.settle()
 
+    @property
+    def spine_nodes(self):
+        """Underlay nodes on the spine tier — where shared services
+        (routing/policy servers, WLCs) attach."""
+        return list(self._spines)
+
     # ------------------------------------------------------------------ operator verbs
     def define_vn(self, name, vn_id, prefix):
         """Create a VN with its overlay DHCP pool and default external route."""
@@ -208,15 +214,21 @@ class FabricNetwork:
         if symmetric:
             self.policy_server.set_rule(dst, src, "deny")
 
-    def create_endpoint(self, identity, group, vn, secret="secret", sink=None):
-        """Enroll an endpoint identity and mint its device object."""
+    def create_endpoint(self, identity, group, vn, secret="secret", sink=None,
+                        factory=Endpoint):
+        """Enroll an endpoint identity and mint its device object.
+
+        ``factory`` selects the device class — the wireless subsystem
+        passes :class:`repro.wireless.Station` so stations share the
+        fabric's identity/MAC numbering and policy enrollment.
+        """
         if identity in self._endpoints:
             raise ConfigurationError("duplicate endpoint identity %r" % identity)
         group_obj = self.plan.group_by_name(group) if isinstance(group, str) else self.plan.group(group)
         vn_id = vn if isinstance(vn, VNId) else VNId(vn)
         self.policy_server.enroll(identity, secret, group_obj.group_id, vn_id)
         self._mac_counter += 1
-        endpoint = Endpoint(identity, MacAddress(self._mac_counter), secret=secret, sink=sink)
+        endpoint = factory(identity, MacAddress(self._mac_counter), secret=secret, sink=sink)
         self._endpoints[identity] = endpoint
         return endpoint
 

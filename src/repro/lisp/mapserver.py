@@ -52,6 +52,7 @@ class RoutingServerStats(Counters):
         "negative_replies",
         "notifies_sent",
         "publishes_sent",
+        "registrar_acks",
         "max_queue_depth",
     )
 
@@ -174,6 +175,16 @@ class RoutingServer:
             self._send(previous.rloc, MapNotify(register.vn, eid, record.copy()))
         if previous is None or moved:
             self._publish(register.vn, eid, record)
+        if register.registrar_rloc is not None:
+            # Proxied registration (fabric wireless): ack the registrar
+            # with the committed record so it can fan the authoritative
+            # version out to edges holding stale state.  The register's
+            # nonce is echoed so the registrar can match the ack to the
+            # exact registration instance (not just the EID/RLOC pair).
+            self.stats.registrar_acks += 1
+            self._send(register.registrar_rloc,
+                       MapNotify(register.vn, eid, record.copy(),
+                                 nonce=register.nonce))
 
     def _process_unregister(self, unregister):
         self.stats.unregisters += 1

@@ -44,14 +44,21 @@ class MapRegister(ControlMessage):
     ``group`` is the endpoint's GroupId learned at onboarding; the server
     stores it so Map-Replies can carry it (used by the ingress-enforcement
     ablation).  ``mobility`` marks re-registrations caused by roaming.
+
+    ``registrar_rloc`` supports proxied registrations (fabric wireless):
+    when a WLC registers a station on behalf of the AP's edge, ``rloc``
+    is the edge but the register was *sent* by the registrar, which asks
+    for a Map-Notify acknowledgement (the M-bit of RFC 6833) so it knows
+    the location update completed.
     """
 
-    __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl")
+    __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl",
+                 "registrar_rloc")
 
     kind = "map-register"
 
     def __init__(self, vn, eid, rloc, group, mac=None, mobility=False, ttl=None,
-                 nonce=None):
+                 registrar_rloc=None, nonce=None):
         super().__init__(nonce)
         self.vn = vn
         self.eid = eid
@@ -61,6 +68,8 @@ class MapRegister(ControlMessage):
         self.mac = mac
         self.mobility = mobility
         self.ttl = ttl
+        #: where the Map-Notify ack goes; ``None`` = no ack requested
+        self.registrar_rloc = registrar_rloc
 
     def __repr__(self):
         return "MapRegister(vn=%d, %s -> %s%s)" % (

@@ -78,6 +78,11 @@ class MappingDatabase:
     def __init__(self):
         self._tries = {}   # (int(vn), family) -> PatriciaTrie
         self._count = 0
+        #: version tombstones: last version ever issued per (vn, eid).
+        #: Versions must stay monotonic across unregister/re-register
+        #: cycles, or caches holding the pre-departure version reject
+        #: the fresh mapping as stale (map-versioning semantics).
+        self._versions = {}
 
     def __len__(self):
         return self._count
@@ -91,15 +96,21 @@ class MappingDatabase:
         return trie
 
     def register(self, record):
-        """Insert or update; returns the previous record or ``None``."""
+        """Insert or update; returns the previous record or ``None``.
+
+        The stored version is strictly greater than any version this
+        database ever issued for the same (VN, EID) — including through
+        unregister/re-register cycles.
+        """
         trie = self._trie(record.vn, record.eid.family, create=True)
         previous = trie.lookup_exact(record.eid)
-        if previous is not None:
-            record.version = previous.version + 1
-            trie.insert(record.eid, record)
-        else:
-            trie.insert(record.eid, record)
+        key = (int(record.vn), record.eid)
+        record.version = max(record.version,
+                             self._versions.get(key, 0) + 1)
+        trie.insert(record.eid, record)
+        if previous is None:
             self._count += 1
+        self._versions[key] = record.version
         return previous
 
     def unregister(self, vn, eid, rloc=None):
@@ -160,3 +171,4 @@ class MappingDatabase:
     def clear(self):
         self._tries = {}
         self._count = 0
+        self._versions = {}

@@ -130,7 +130,12 @@ def encapsulate(packet, outer_src, outer_dst, vni, group, src_port=None):
     if src_port is None:
         inner = packet.inner_ip()
         if inner is not None:
-            src_port = 0xC000 | (hash((str(inner.src), str(inner.dst))) & 0x3FFF)
+            # Integer mixing, not hash(): flow entropy must not depend
+            # on PYTHONHASHSEED or runs stop being reproducible across
+            # processes (ECMP path choice feeds delivery timing) — and
+            # this runs per data packet, so no string/CRC allocation.
+            mixed = (int(inner.src) * 2654435761) ^ int(inner.dst)
+            src_port = 0xC000 | (mixed & 0x3FFF)
         else:
             src_port = 0xC000
     header = VxlanGpoHeader(vni=vni, group=group)

@@ -17,6 +17,7 @@ peers when rules or endpoint-group assignments change (sec. 5.4).
 from __future__ import annotations
 
 from repro.core.errors import AuthenticationError, PolicyError
+from repro.core.queueing import SerialQueue
 from repro.core.types import EndpointId
 from repro.lisp.messages import ControlMessage, control_packet
 from repro.policy.matrix import ConnectivityMatrix
@@ -47,19 +48,27 @@ class AccessRequest(ControlMessage):
     ``enforcement`` tells the server which rule slice the edge needs:
     egress edges download rules *towards* the endpoint's group; ingress
     edges additionally need the rules *from* it (sec. 5.3).
+
+    ``session_rloc`` is where the endpoint's data-plane session lives.
+    Edges leave it unset (it defaults to ``reply_to``); a WLC
+    authenticating a wireless station on behalf of an AP's edge sets it
+    to that edge so SXP rule targeting still tracks the data plane, not
+    the control-plane proxy.
     """
 
-    __slots__ = ("identity", "secret", "reply_to", "enforcement")
+    __slots__ = ("identity", "secret", "reply_to", "enforcement",
+                 "session_rloc")
 
     kind = "access-request"
 
     def __init__(self, identity, secret, reply_to, enforcement="egress",
-                 nonce=None):
+                 session_rloc=None, nonce=None):
         super().__init__(nonce)
         self.identity = identity
         self.secret = secret
         self.reply_to = reply_to
         self.enforcement = enforcement
+        self.session_rloc = session_rloc
 
 
 class AccessResult(ControlMessage):
@@ -99,7 +108,7 @@ class PolicyServer:
         self.service_jitter_s = service_jitter_s
         self._rng = SeededRng(seed)
         self._credentials = {}
-        self._busy_until = 0.0
+        self._cpu = SerialQueue(sim)
         self._matrix_listeners = []     # callbacks (rule) on rule change
         self._group_change_listeners = []  # callbacks (identity, old, new)
         self._session_listeners = []    # callbacks (identity, edge_rloc, group)
@@ -234,18 +243,16 @@ class PolicyServer:
         message = packet.payload
         if message.kind != AccessRequest.kind:
             raise PolicyError("policy server got %r" % message.kind)
-        now = self.sim.now
-        start = max(now, self._busy_until)
         service = self.auth_service_s + self._rng.uniform(0, self.service_jitter_s)
-        self._busy_until = start + service
-        self.sim.schedule(self._busy_until - now, self._answer, message)
+        self._cpu.submit(service, self._answer, message)
 
     def _answer(self, request):
         result = self.authenticate(request.identity, request.secret,
                                    enforcement=request.enforcement)
         result.nonce = request.nonce
         if result.accepted:
-            self._record_session(request.identity, request.reply_to, result.group)
+            session_rloc = request.session_rloc or request.reply_to
+            self._record_session(request.identity, session_rloc, result.group)
         if self.underlay is not None:
             self.underlay.send(
                 self.rloc, request.reply_to,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 
 
 class SeededRng:
@@ -86,5 +87,9 @@ class SeededRng:
 
         Ensures subsystems (traffic vs. mobility vs. presence) do not
         perturb each other's random streams when one of them changes.
+        The derivation uses CRC32 rather than ``hash()`` so child seeds —
+        and therefore whole experiments — are identical across processes
+        regardless of ``PYTHONHASHSEED``.
         """
-        return SeededRng(hash((self.seed, label)) & 0x7FFFFFFF)
+        key = ("%r:%r" % (self.seed, label)).encode("utf-8")
+        return SeededRng(zlib.crc32(key) & 0x7FFFFFFF)

@@ -6,6 +6,7 @@ summaries from raw sample lists without any plotting dependency — the
 benches print the numeric series the figures draw.
 """
 
+from repro.stats.recorders import DelaySamples, HandoverRecorder
 from repro.stats.summaries import (
     BoxplotStats,
     boxplot,
@@ -18,6 +19,8 @@ from repro.stats.summaries import (
 
 __all__ = [
     "BoxplotStats",
+    "DelaySamples",
+    "HandoverRecorder",
     "boxplot",
     "cdf_points",
     "percentile",

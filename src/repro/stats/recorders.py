@@ -1,0 +1,56 @@
+"""Measurement recorders shared by mobility workloads and experiments.
+
+Subsystem-agnostic: the warehouse (wired fig. 11), the fabric-wireless
+handover experiment and the CAPWAP baseline all measure handover delay
+the way the paper defines it — from the instant an endpoint detaches
+until its traffic is flowing again at the new attachment.
+"""
+
+from __future__ import annotations
+
+
+class DelaySamples:
+    """Delivery-delay recorder: stamp packets at injection, sample at
+    the sink.
+
+    Call :meth:`stamp` on a packet when it is sent and wire
+    :meth:`on_delivery` into the receiver's sink; ``delays`` collects
+    one sample per delivered stamped packet.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.delays = []
+
+    def stamp(self, packet):
+        packet.meta["sent_at"] = self.sim.now
+        return packet
+
+    def on_delivery(self, packet, now):
+        sent = packet.meta.get("sent_at")
+        if sent is not None:
+            self.delays.append(now - sent)
+
+    def station_sink(self):
+        """An Endpoint-shaped sink (``(endpoint, packet, now)``)."""
+        return lambda _endpoint, packet, now: self.on_delivery(packet, now)
+
+
+class HandoverRecorder:
+    """Tracks detach times and computes traffic-restore delays."""
+
+    def __init__(self):
+        self._pending = {}   # identity -> detach time
+        self.samples = []
+
+    def on_detach(self, identity, now):
+        self._pending[identity] = now
+
+    def on_delivery(self, identity, now):
+        detach_time = self._pending.pop(identity, None)
+        if detach_time is not None:
+            self.samples.append(now - detach_time)
+
+    @property
+    def outstanding(self):
+        return len(self._pending)

@@ -1,0 +1,53 @@
+"""Fabric-enabled wireless (the paper's WLC control-plane integration).
+
+The design folds wireless into the fabric instead of anchoring it at a
+gateway: the WLC joins the *control plane only* — authenticating
+stations, obtaining their SGT, and registering their location with the
+routing server on behalf of the APs — while APs VXLAN-GPO-encapsulate
+station traffic locally.  Roaming becomes a map-server update (fig. 5)
+rather than a controller-state migration, so roam delay is independent
+of offered data load.  Contrast :mod:`repro.baselines.wlc`, the sec. 2
+status-quo CAPWAP model this subsystem is ablated against.
+
+* :class:`Station` — a wireless endpoint (association, 802.1X-style
+  group assignment, same identity model as wired endpoints).
+* :class:`FabricAp` — data plane: VXLAN-at-the-AP, one uplink hop to
+  the serving edge, radio-level AP-to-AP handoff.
+* :class:`FabricWlc` — control plane: auth + SGT + registrar-proxied
+  Map-Register/Unregister, single control-CPU queue.
+* :class:`WirelessFabric` — deployment builder over a FabricNetwork.
+* :mod:`repro.wireless.plumbing` — station/AP harness shared with the
+  CAPWAP baseline so ablations drive identical stations through both
+  data planes.
+"""
+
+from repro.wireless.ap import FabricAp, FabricApCounters
+from repro.wireless.deployment import WirelessConfig, WirelessFabric
+from repro.wireless.plumbing import (
+    DelaySamples,
+    HandoverRecorder,
+    PoissonPairTraffic,
+    StationPairPlan,
+    SteadyStream,
+    assign_static_ips,
+    make_stations,
+)
+from repro.wireless.station import Station
+from repro.wireless.wlc import FabricWlc, FabricWlcStats
+
+__all__ = [
+    "DelaySamples",
+    "FabricAp",
+    "FabricApCounters",
+    "FabricWlc",
+    "FabricWlcStats",
+    "HandoverRecorder",
+    "PoissonPairTraffic",
+    "Station",
+    "StationPairPlan",
+    "SteadyStream",
+    "WirelessConfig",
+    "WirelessFabric",
+    "assign_static_ips",
+    "make_stations",
+]

@@ -1,0 +1,102 @@
+"""WirelessFabric: fabric-enabled wireless over a FabricNetwork.
+
+Assembles the wireless subsystem onto an existing fabric: one
+control-plane-only WLC attached to the underlay, plus fabric APs hung
+off the edge routers.  Exposes the operator verbs the workloads and
+experiments drive (``create_station`` / ``associate`` / ``roam`` /
+``disassociate``), mirroring :class:`repro.fabric.FabricNetwork`'s
+wired verbs (``create_endpoint`` / ``admit`` / ``roam`` / ``depart``).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.net.addresses import IPv4Address
+from repro.wireless.ap import AIR_DELAY_S, UPLINK_DELAY_S, FabricAp
+from repro.wireless.station import Station
+from repro.wireless.wlc import FabricWlc
+
+#: RLOC numbering: the WLC joins the infra service block, APs get
+#: uplink addresses in 192.168.128.0/17 (disjoint from edges/borders).
+_RLOC_WLC = "192.168.255.30"
+_AP_ADDRESS_BASE = 0xC0A88001
+
+
+class WirelessConfig:
+    """Knobs for the wireless overlay (paper-flavoured defaults)."""
+
+    def __init__(self, aps_per_edge=1, wlc_service_s=150e-6,
+                 air_delay_s=AIR_DELAY_S, uplink_delay_s=UPLINK_DELAY_S,
+                 register_families=("ipv4", "mac")):
+        if aps_per_edge < 1:
+            raise ConfigurationError("need at least one AP per edge")
+        self.aps_per_edge = aps_per_edge
+        self.wlc_service_s = wlc_service_s
+        self.air_delay_s = air_delay_s
+        self.uplink_delay_s = uplink_delay_s
+        self.register_families = tuple(register_families)
+
+
+class WirelessFabric:
+    """The wireless overlay: one WLC + APs on every edge."""
+
+    def __init__(self, net, config=None):
+        self.net = net
+        self.config = config or WirelessConfig()
+        cfg = self.config
+        self.wlc = FabricWlc(
+            net.sim, net.underlay,
+            rloc=IPv4Address.parse(_RLOC_WLC),
+            node=net.spine_nodes[-1],
+            register_rlocs=[server.rloc for server in net.routing_servers],
+            policy_server_rloc=net.policy_server.rloc,
+            dhcp=net.dhcp,
+            service_s=cfg.wlc_service_s,
+            register_families=cfg.register_families,
+        )
+        self.aps = []
+        for edge in net.edges:
+            for radio in range(cfg.aps_per_edge):
+                ap = FabricAp(
+                    net.sim, "%s-ap%d" % (edge.name, radio), edge, self.wlc,
+                    address=IPv4Address(_AP_ADDRESS_BASE + len(self.aps)),
+                    air_delay_s=cfg.air_delay_s,
+                    uplink_delay_s=cfg.uplink_delay_s,
+                )
+                self.aps.append(ap)
+
+    # ------------------------------------------------------------------ operator verbs
+    def create_station(self, identity, group, vn, secret="secret", sink=None):
+        """Enroll a wireless identity and mint its Station object."""
+        return self.net.create_endpoint(identity, group, vn, secret=secret,
+                                        sink=sink, factory=Station)
+
+    def _resolve_ap(self, ap):
+        return self.aps[ap] if isinstance(ap, int) else ap
+
+    def associate(self, station, ap, on_complete=None):
+        """Bring a station onto an AP's radio (onboarding runs async)."""
+        self._resolve_ap(ap).associate(station, on_complete=on_complete)
+
+    def roam(self, station, new_ap, on_complete=None):
+        """Move a station to another AP — the same verb as associate;
+        the WLC works out whether location state must move."""
+        self._resolve_ap(new_ap).associate(station, on_complete=on_complete)
+
+    def disassociate(self, station):
+        """Radio off: the WLC withdraws the station's registration."""
+        self.wlc.disassociate(station)
+
+    # ------------------------------------------------------------------ metrics
+    def aps_on_edge(self, edge):
+        if isinstance(edge, int):
+            edge = self.net.edges[edge]
+        return [ap for ap in self.aps if ap.edge is edge]
+
+    def station_count(self):
+        return sum(len(ap.stations) for ap in self.aps)
+
+    def __repr__(self):
+        return "WirelessFabric(aps=%d, stations=%d)" % (
+            len(self.aps), self.station_count()
+        )

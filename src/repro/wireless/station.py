@@ -1,0 +1,53 @@
+"""Wireless station: an endpoint whose access port is an AP radio.
+
+A :class:`Station` is a fabric endpoint in every control-plane respect —
+identity, MAC, overlay IP, VN, GroupId — but its data path runs through
+the access point it is associated with instead of a wired edge port.
+On the fabric data plane the AP VXLAN-GPO-encapsulates locally; on the
+CAPWAP baseline the same ``send`` call tunnels to the controller — which
+is what lets experiments drive *identical* stations through both planes.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.fabric.endpoint import Endpoint
+
+
+class Station(Endpoint):
+    """A wireless endpoint (laptop, phone, badge, sensor)."""
+
+    def __init__(self, identity, mac, secret="secret", sink=None):
+        super().__init__(identity, mac, secret=secret, sink=sink)
+        #: current radio association (a FabricAp, an AccessPointTunnel in
+        #: the CAPWAP baseline, or None when out of range)
+        self.ap = None
+        self.associations = 0
+        self.roams = 0
+
+    @property
+    def associated(self):
+        return self.ap is not None
+
+    def send(self, packet):
+        """Inject a packet through the serving AP (not a wired port)."""
+        if self.ap is None:
+            raise ConfigurationError(
+                "station %s is not associated" % self.identity
+            )
+        self.packets_sent += 1
+        self.ap.inject_from_station(self, packet)
+
+    def receive(self, packet, now):
+        # On the fabric data plane the serving edge delivers via the AP
+        # (downlink hop + per-AP accounting); the CAPWAP baseline's
+        # tunnel AP already charged its path, so deliver directly.
+        deliver = getattr(self.ap, "deliver_to_station", None)
+        if deliver is not None:
+            deliver(self, packet)
+            return
+        super().receive(packet, now)
+
+    def __repr__(self):
+        where = "@%s" % self.ap.name if self.ap is not None else "unassociated"
+        return "Station(%s, ip=%s, %s)" % (self.identity, self.ip, where)

@@ -1,0 +1,327 @@
+"""The fabric WLC: a control-plane-only wireless controller.
+
+The paper's fabric-wireless integration in one sentence: the WLC "joins
+the control plane only" — it authenticates stations, obtains their SGT
+from the policy server, and registers their location with the routing
+server *on behalf of* the AP's edge, while the data plane stays fully
+distributed (APs encapsulate VXLAN locally).  Compare
+:class:`repro.baselines.wlc.WlanController`, which sinks every data
+packet through one queue.
+
+Concretely, per association the WLC:
+
+1. runs 802.1X-style authentication against the policy server (the
+   Access-Request carries ``session_rloc`` = the serving edge, so SXP
+   rule targeting keeps tracking the data plane);
+2. leases the station's overlay IP (kept across roams — L3 mobility);
+3. installs forwarding state on the serving edge (VRF entry + egress
+   rule rows) — the only thing the edge itself has to hold;
+4. Map-Registers the station's EIDs with ``rloc`` = the serving edge,
+   as *registrar* (ack requested).  On a roam the routing server's
+   normal fig. 5 machinery notifies the previous edge, which redirects
+   in-flight packets; the WLC additionally relays the acked record to
+   any older edges from the station's roam history, so location state
+   never goes stale along a roam chain.
+
+The WLC serializes association work through one control CPU queue —
+that queue (not any data path) is what a roam storm stresses, which is
+exactly the scaling property the fabric design buys.
+"""
+
+from __future__ import annotations
+
+from repro.core.counters import Counters
+from repro.core.errors import ConfigurationError
+from repro.core.queueing import SerialQueue
+from repro.lisp.messages import (
+    MapNotify,
+    MapRegister,
+    MapUnregister,
+    control_packet,
+)
+from repro.policy.server import AccessRequest, AccessResult
+
+
+class FabricWlcStats(Counters):
+    """Control-plane event counters (the WLC has no data-plane ones)."""
+
+    FIELDS = (
+        "associations",
+        "roams",
+        "intra_edge_roams",
+        "disassociations",
+        "auth_requests",
+        "auth_rejects",
+        "registers_sent",
+        "unregisters_sent",
+        "registrar_acks_received",
+        "stale_edge_notifies",
+    )
+
+
+class FabricWlc:
+    """Controller for fabric-enabled wireless (control plane only).
+
+    Parameters
+    ----------
+    sim / underlay / rloc / node:
+        Simulation kernel and the controller's attachment point.  The
+        WLC is an underlay device like any server — but it never sees a
+        station data packet.
+    register_rlocs / policy_server_rloc / dhcp:
+        The fabric control plane the WLC integrates with.  Registrations
+        fan out to every routing server (mirroring edge behaviour with
+        horizontally scaled control planes).
+    service_s:
+        Control CPU time per association/disassociation event — the
+        single-queue model whose backlog a roam storm measures.
+    register_families:
+        Which station EIDs the registrar registers.  Every family's
+        registration requests an ack (so the roam-chain relay can
+        refresh stale caches per family); the IPv4 ack doubles as the
+        roam-completion sample.
+    """
+
+    def __init__(self, sim, underlay, rloc, node, register_rlocs,
+                 policy_server_rloc, dhcp, service_s=150e-6,
+                 register_families=("ipv4", "mac")):
+        self.sim = sim
+        self.underlay = underlay
+        self.rloc = rloc
+        self.register_rlocs = tuple(register_rlocs)
+        if not self.register_rlocs:
+            raise ConfigurationError("WLC needs at least one routing server")
+        self.policy_server_rloc = policy_server_rloc
+        self.dhcp = dhcp
+        self.service_s = service_s
+        self.register_families = tuple(register_families)
+        self.stats = FabricWlcStats()
+        #: registration-completion delay samples (radio association to
+        #: the routing server's ack), for the roam-storm benches
+        self.registration_delays = []
+        #: optional hook ``(station, delay_s)`` fired on each ack
+        self.on_registered = None
+        self._aps = []
+        self._cpu = SerialQueue(sim)
+        self._pending_auth = {}       # nonce -> (station, ap, previous, t0, cb)
+        #: (vn int, eid) -> (station, stale rlocs, t0, is_completion,
+        #: register nonce) — the nonce pins the ack to this registration
+        #: instance (see _on_register_ack)
+        self._pending_register = {}
+        #: where each station's location is currently *registered* — the
+        #: registrar's own record of truth.  ``station.edge`` is not
+        #: usable for withdrawal: it goes None the instant the radio
+        #: leaves an edge, long before the re-registration lands.
+        self._registered_edge = {}    # identity -> EdgeRouter
+        #: edges that served a station at some point in its roam history
+        self._visited_edges = {}      # identity -> set of edge rlocs
+        underlay.attach(rloc, node, self._on_packet)
+
+    @property
+    def max_queue_delay_s(self):
+        """Worst backlog an association event saw on the control CPU."""
+        return self._cpu.max_delay_s
+
+    # ------------------------------------------------------------------ registry
+    def register_ap(self, ap):
+        self._aps.append(ap)
+
+    @property
+    def ap_count(self):
+        return len(self._aps)
+
+    # ------------------------------------------------------------------ association
+    def on_associate(self, station, ap, previous_ap, on_complete=None):
+        """Radio-layer notification from an AP (queued on the CPU)."""
+        self._cpu.submit(self.service_s, self._process_association,
+                         station, ap, previous_ap, self.sim.now, on_complete)
+
+    def _process_association(self, station, ap, previous_ap, t0, on_complete):
+        if station.ap is not ap:
+            return  # moved again (or left) while queued
+        if previous_ap is not None:
+            self.stats.roams += 1
+        else:
+            self.stats.associations += 1
+        if (previous_ap is not None and previous_ap.edge is ap.edge
+                and ap.edge.vrf.lookup_identity(station.identity) is not None):
+            # Intra-edge fast roam: the serving edge — and therefore the
+            # registered RLOC, the VRF entry and the rules — are all
+            # unchanged.  No auth, no registration, no notify.
+            self.stats.intra_edge_roams += 1
+            if on_complete is not None:
+                on_complete(station, True)
+            return
+        request = AccessRequest(
+            station.identity, station.secret, reply_to=self.rloc,
+            enforcement=ap.edge.enforcement, session_rloc=ap.edge.rloc,
+        )
+        self._pending_auth[request.nonce] = (
+            station, ap, previous_ap, t0, on_complete
+        )
+        self.stats.auth_requests += 1
+        self._send(self.policy_server_rloc, request)
+
+    def _finish_auth(self, result):
+        pending = self._pending_auth.pop(result.nonce, None)
+        if pending is None:
+            return
+        station, ap, previous_ap, t0, on_complete = pending
+        if station.ap is not ap:
+            return  # roamed again mid-auth; the newer association wins
+        if not result.accepted:
+            self.stats.auth_rejects += 1
+            ap.drop_station(station)
+            station.ap = None
+            # A now-rejected station is cut off everywhere: if it was
+            # onboarded (a roam re-auth), its old registration and VRF
+            # entry must be withdrawn or peers would blackhole into the
+            # previous edge forever.
+            self._withdraw(station)
+            if on_complete is not None:
+                on_complete(station, False)
+            return
+        station.vn = result.vn
+        station.group = result.group
+        if station.ip is None:
+            station.ip, station.ipv6 = self.dhcp.lease(
+                result.vn, station.identity
+            )
+        prev_edge = previous_ap.edge if previous_ap is not None else None
+        ap.edge.install_wireless_endpoint(
+            station, result.vn, result.group, result.rules
+        )
+        self._registered_edge[station.identity] = ap.edge
+        mobility = prev_edge is not None and prev_edge is not ap.edge
+        # Roam-chain hygiene: edges older than the immediately previous
+        # one (which the routing server notifies itself, fig. 5 step 2)
+        # get the authoritative record relayed once the server acks.
+        visited = self._visited_edges.setdefault(station.identity, set())
+        stale = set(visited)
+        stale.discard(ap.edge.rloc)
+        if prev_edge is not None:
+            stale.discard(prev_edge.rloc)
+            visited.add(prev_edge.rloc)
+        self._register_station(station, ap.edge.rloc, mobility, stale, t0)
+        if on_complete is not None:
+            on_complete(station, True)
+
+    def _register_station(self, station, edge_rloc, mobility, stale_rlocs, t0):
+        stale = tuple(sorted(stale_rlocs, key=int))
+        for eid in self._station_eids(station):
+            # Every family gets an acked registration so the roam-chain
+            # relay refreshes stale edges' caches for *all* of the
+            # station's EIDs; only the IPv4 ack is the completion sample.
+            ack = True
+            for server_rloc in self.register_rlocs:
+                register = MapRegister(
+                    station.vn, eid, edge_rloc, station.group,
+                    mac=station.mac if eid.family != "mac" else None,
+                    mobility=mobility,
+                    registrar_rloc=self.rloc if ack else None,
+                )
+                if ack:
+                    # The register's nonce identifies this registration
+                    # instance; the server echoes it in the ack, so a
+                    # delayed ack from an older registration at the
+                    # *same* edge (an A->B->A bounce under backlog)
+                    # cannot complete the newer one.
+                    self._pending_register[(int(station.vn), eid)] = (
+                        station, stale, t0, eid.family == "ipv4",
+                        register.nonce,
+                    )
+                self.stats.registers_sent += 1
+                self._send(server_rloc, register)
+                ack = False  # one ack per EID is enough
+
+    def _on_register_ack(self, notify):
+        """Routing server committed a proxied registration."""
+        key = (int(notify.vn), notify.eid)
+        pending = self._pending_register.get(key)
+        if pending is None:
+            return  # duplicate ack (multi-server fan-out) or stale
+        station, stale_rlocs, t0, is_completion, nonce = pending
+        if notify.nonce != nonce:
+            return  # ack for a superseded registration instance
+        if station.edge is None or notify.record.rloc != station.edge.rloc:
+            # Ack from a registration the station already roamed past;
+            # the in-flight newer registration's ack completes instead.
+            return
+        del self._pending_register[key]
+        self.stats.registrar_acks_received += 1
+        for rloc in stale_rlocs:
+            self.stats.stale_edge_notifies += 1
+            self._send(rloc, MapNotify(notify.vn, notify.eid,
+                                       notify.record.copy()))
+        if is_completion:
+            delay = self.sim.now - t0
+            self.registration_delays.append(delay)
+            if self.on_registered is not None:
+                self.on_registered(station, delay)
+
+    # ------------------------------------------------------------------ disassociation
+    def disassociate(self, station):
+        """Station leaves the wireless network entirely (radio off)."""
+        ap = station.ap
+        if ap is None:
+            return
+        ap.drop_station(station)
+        station.ap = None
+        self._cpu.submit(self.service_s, self._process_disassociation, station)
+
+    def _process_disassociation(self, station):
+        if station.ap is not None:
+            return  # re-associated while queued; the association wins
+        self.stats.disassociations += 1
+        self._withdraw(station)
+
+    def _withdraw(self, station):
+        """Remove every trace of a station's location registration.
+
+        Withdrawal works from the registrar's own ``_registered_edge``
+        record — *not* from ``station.edge``, which is transiently None
+        whenever a cross-edge roam is still in flight (the exact moment
+        a disassociation or rejected re-auth can land).
+        """
+        edge = self._registered_edge.pop(station.identity, None)
+        if edge is None or station.vn is None:
+            return  # never finished onboarding; nothing registered
+        edge.remove_wireless_endpoint(station)
+        for eid in self._station_eids(station):
+            self._pending_register.pop((int(station.vn), eid), None)
+            for server_rloc in self.register_rlocs:
+                self.stats.unregisters_sent += 1
+                self._send(server_rloc,
+                           MapUnregister(station.vn, eid, edge.rloc))
+        # The roam history is deliberately *kept*: edges visited before
+        # the withdrawal still hold notify-installed cache entries, and
+        # only the next registration's relay can refresh them (there is
+        # no negative notify).  The set is bounded by the edge count.
+
+    # ------------------------------------------------------------------ transport
+    def _station_eids(self, station):
+        eids = []
+        if "ipv4" in self.register_families and station.ip is not None:
+            eids.append(station.ip.to_prefix())
+        if "ipv6" in self.register_families and station.ipv6 is not None:
+            eids.append(station.ipv6.to_prefix())
+        if "mac" in self.register_families and station.mac is not None:
+            eids.append(station.mac.to_prefix())
+        return eids
+
+    def _on_packet(self, packet):
+        message = packet.payload
+        kind = getattr(message, "kind", None)
+        if kind == AccessResult.kind:
+            self._finish_auth(message)
+        elif kind == MapNotify.kind:
+            self._on_register_ack(message)
+        # Anything else is ignored (the WLC has no data plane).
+
+    def _send(self, dst_rloc, message):
+        self.underlay.send(
+            self.rloc, dst_rloc, control_packet(self.rloc, dst_rloc, message)
+        )
+
+    def __repr__(self):
+        return "FabricWlc(rloc=%s, aps=%d)" % (self.rloc, len(self._aps))

@@ -6,6 +6,8 @@
   massive-mobility scenario behind fig. 11 (handover delay, LISP vs BGP).
 * :mod:`repro.workloads.distributed_campus` — N federated sites with an
   inter-site traffic mix and cross-site roaming (multi-site subsystem).
+* :mod:`repro.workloads.wireless_campus` — stations walking across APs
+  with Zipf traffic (fabric-wireless subsystem), incl. roam storms.
 * :mod:`repro.workloads.traffic` — shared flow/popularity machinery.
 """
 
@@ -25,6 +27,10 @@ from repro.workloads.distributed_campus import (
     DistributedCampusProfile,
     DistributedCampusWorkload,
 )
+from repro.workloads.wireless_campus import (
+    WirelessCampusProfile,
+    WirelessCampusWorkload,
+)
 
 __all__ = [
     "DistributedCampusProfile",
@@ -38,4 +44,6 @@ __all__ = [
     "WarehouseScenario",
     "WarehouseLispRun",
     "WarehouseBgpRun",
+    "WirelessCampusProfile",
+    "WirelessCampusWorkload",
 ]

@@ -37,6 +37,7 @@ from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
 from repro.underlay.network import UnderlayNetwork
 from repro.underlay.topology import Topology
+from repro.stats.recorders import HandoverRecorder
 
 
 class WarehouseScenario:
@@ -85,26 +86,6 @@ class WarehouseScenario:
         return self.num_source_edges + 2
 
 
-class _HandoverRecorder:
-    """Tracks detach times and computes restore delays on delivery."""
-
-    def __init__(self):
-        self._pending = {}   # identity -> detach time
-        self.samples = []
-
-    def on_detach(self, identity, now):
-        self._pending[identity] = now
-
-    def on_delivery(self, identity, now):
-        detach_time = self._pending.pop(identity, None)
-        if detach_time is not None:
-            self.samples.append(now - detach_time)
-
-    @property
-    def outstanding(self):
-        return len(self._pending)
-
-
 class WarehouseLispRun:
     """The SDA/LISP side of fig. 11."""
 
@@ -125,7 +106,7 @@ class WarehouseLispRun:
         # Fast MAB-style auth for robots.
         self.fabric.policy_server.auth_service_s = s.auth_delay_s
         self.fabric.policy_server.service_jitter_s = s.auth_delay_s / 4.0
-        self.recorder = _HandoverRecorder()
+        self.recorder = HandoverRecorder()
         self.rng = SeededRng(s.seed)
         self.hosts = []
         self.sources = []
@@ -307,7 +288,7 @@ class WarehouseBgpRun:
         s = self.scenario
         self.sim = Simulator()
         self.rng = SeededRng(s.seed + 1000)
-        self.recorder = _HandoverRecorder()
+        self.recorder = HandoverRecorder()
 
         self.topology, spines, leaves = Topology.two_tier(
             num_spines=2, num_leaves=s.total_edges

@@ -1,0 +1,62 @@
+"""Tests for the wireless-handover experiment and campus workload."""
+
+from repro.experiments.wireless_handover import (
+    format_roam_sweep,
+    run_roam_delay_sweep,
+)
+from repro.workloads.wireless_campus import (
+    WirelessCampusProfile,
+    WirelessCampusWorkload,
+)
+
+
+def test_fabric_flat_capwap_climbs_small():
+    rows = run_roam_delay_sweep(rates=(2000, 40000), duration_s=0.3)
+    low, high = rows
+    assert high["capwap_roam_median_s"] > 2 * low["capwap_roam_median_s"]
+    assert high["fabric_roam_median_s"] < 1.5 * low["fabric_roam_median_s"]
+    assert high["fabric_roam_median_s"] < high["capwap_roam_median_s"]
+    assert "fabric roam ms" in format_roam_sweep(rows)
+
+
+def test_sweep_is_bit_identical_for_fixed_seed():
+    rates = (2000, 40000)
+    first = run_roam_delay_sweep(rates=rates, duration_s=0.2, seed=61)
+    second = run_roam_delay_sweep(rates=rates, duration_s=0.2, seed=61)
+    assert first == second
+    # A different seed perturbs the (jittered) delay samples.
+    other = run_roam_delay_sweep(rates=rates, duration_s=0.2, seed=62)
+    assert other != first
+
+
+def test_wireless_campus_walk_keeps_traffic_flowing():
+    workload = WirelessCampusWorkload(
+        WirelessCampusProfile(stations=18, num_edges=4, dwell_mean_s=15.0,
+                              flow_interval_s=4.0),
+        seed=5,
+    )
+    summary = workload.run(duration_s=90.0)
+    assert summary["associated"] == 18
+    assert summary["roams"] > 10
+    assert summary["inter_edge_roams"] > 0
+    # The distributed data plane keeps delivering across roams.
+    assert summary["flows_fired"] > 0
+    assert summary["server_packets_received"] >= 0.9 * summary["flows_fired"]
+    # Every inter-edge roam completed its registrar handshake.
+    assert summary["registrar_acks"] >= summary["inter_edge_roams"]
+
+
+def test_roam_storm_converges_and_is_consistent():
+    workload = WirelessCampusWorkload(
+        WirelessCampusProfile(stations=40, num_edges=6), seed=9,
+    )
+    workload.bring_up()
+    summary = workload.roam_storm(window_s=0.5)
+    assert summary["roams"] == 40
+    assert summary["registration_delay"]["count"] == \
+        summary["inter_edge_roams"]
+    server = workload.fabric.routing_server
+    for station in workload.stations:
+        record = server.database.lookup(workload.VN_ID, station.ip)
+        assert record is not None
+        assert record.rloc == station.ap.edge.rloc
