@@ -8,9 +8,28 @@ Scenario benches (campus weeks, warehouse mobility) run the full
 simulation once per round — they measure end-to-end reproduction cost and
 assert the paper's qualitative findings; micro benches (trie, map-server)
 use tight pytest-benchmark loops.
+
+Two pieces of perf-tracking plumbing live here:
+
+* the ``trajectory`` fixture collects machine-readable metrics from the
+  control-plane benches; at session end they are written to
+  ``benchmarks/BENCH_ctrlplane.json`` so CI (and future PRs) can diff
+  sustained roams/s, roam-delay percentiles and map-server msgs/roam
+  against this run instead of eyeballing bench tables;
+* ``fastpath_flags`` reads ``REPRO_FASTPATH`` so the CI smoke lane can
+  run the storm/signaling benches with the batching/session-cache knobs
+  both off (``REPRO_FASTPATH=0``, the default) and on
+  (``REPRO_FASTPATH=1``) — a regression hiding behind either flag value
+  cannot land silently.
 """
 
+import json
+import os
+
 import pytest
+
+#: bench name -> metrics dict, collected by the ``trajectory`` fixture.
+_TRAJECTORY = {}
 
 
 def pytest_configure(config):
@@ -25,3 +44,39 @@ def report():
     def _print(text):
         print("\n" + text)
     return _print
+
+
+def fastpath_enabled():
+    """True when the smoke lane asked for the fast-path flags on."""
+    return os.environ.get("REPRO_FASTPATH", "0").lower() not in (
+        "0", "", "false", "off",
+    )
+
+
+@pytest.fixture
+def fastpath_flags():
+    """Control-plane fast-path knobs for workload profiles, env-driven."""
+    on = fastpath_enabled()
+    return {"batching": on, "session_cache": on}
+
+
+@pytest.fixture
+def trajectory():
+    """Record a bench's metrics into ``BENCH_ctrlplane.json``."""
+    def _record(name, metrics):
+        _TRAJECTORY[name] = metrics
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TRAJECTORY:
+        return
+    path = os.path.join(os.path.dirname(__file__), "BENCH_ctrlplane.json")
+    payload = {
+        "schema": 1,
+        "fastpath_env": fastpath_enabled(),
+        "benches": _TRAJECTORY,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -19,6 +19,7 @@ benches:
 
 from __future__ import annotations
 
+from repro.core.batching import Batcher
 from repro.core.errors import ConfigurationError
 from repro.core.queueing import SerialQueue
 
@@ -88,20 +89,37 @@ class AccessPointTunnel:
 
 
 class WlanController:
-    """The centralized gateway: single processing queue, full client map."""
+    """The centralized gateway: single processing queue, full client map.
+
+    ``batching`` gives the baseline the same record-aggregation fast
+    path the fabric control plane gets (a :class:`Batcher` riding the
+    controller CPU): handover table updates arriving within
+    ``handover_flush_s`` are applied under **one** handover service
+    charge.  Keeping the knob on both sides makes the batching ablation
+    fair — the fabric's scaling story must survive an equally-optimized
+    baseline.  Data packets still serialize one at a time; batching
+    cannot remove the triangular data path.
+    """
 
     def __init__(self, sim, underlay, rloc, node, service_s=8e-6,
-                 handover_service_s=500e-6):
+                 handover_service_s=500e-6, batching=False,
+                 handover_flush_s=1e-3):
         self.sim = sim
         self.underlay = underlay
         self.rloc = rloc
         self.service_s = service_s
         self.handover_service_s = handover_service_s
         self._cpu = SerialQueue(sim)
+        self.batching = batching
+        self._handover_batcher = Batcher(
+            sim, self._apply_handover_batch, window_s=handover_flush_s,
+            queue=self._cpu, service_s=handover_service_s,
+        ) if batching else None
         self._aps = []
         self._client_ap = {}   # overlay ip -> AccessPointTunnel
         self.packets_processed = 0
         self.handovers_processed = 0
+        self.handover_batches = 0
         underlay.attach(rloc, node, self._on_packet)
 
     @property
@@ -114,13 +132,24 @@ class WlanController:
     def register_client(self, ip, ap):
         """Client association; handover work happens on the controller CPU."""
         previous = self._client_ap.get(ip)
-        self._queue(self.handover_service_s, self._apply_association, ip, ap)
+        self._handover(self._apply_association, ip, ap)
         if previous is not None:
             self.handovers_processed += 1
 
     def unregister_client(self, ip, ap):
         if self._client_ap.get(ip) is ap:
-            self._queue(self.handover_service_s, self._apply_disassociation, ip, ap)
+            self._handover(self._apply_disassociation, ip, ap)
+
+    def _handover(self, fn, ip, ap):
+        if self._handover_batcher is not None:
+            self._handover_batcher.submit((fn, ip, ap))
+        else:
+            self._queue(self.handover_service_s, fn, ip, ap)
+
+    def _apply_handover_batch(self, ops):
+        self.handover_batches += 1
+        for fn, ip, ap in ops:
+            fn(ip, ap)
 
     def _apply_association(self, ip, ap):
         self._client_ap[ip] = ap

@@ -5,6 +5,7 @@ identifiers, group identifiers, endpoint identities, and the exception
 hierarchy used throughout the library.
 """
 
+from repro.core.batching import Batcher
 from repro.core.counters import Counters
 from repro.core.queueing import SerialQueue
 from repro.core.errors import (
@@ -28,6 +29,7 @@ from repro.core.types import (
 )
 
 __all__ = [
+    "Batcher",
     "Counters",
     "SerialQueue",
     "ReproError",

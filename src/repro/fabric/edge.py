@@ -16,10 +16,12 @@ stale-mapping refresh (fig. 6).
 
 from __future__ import annotations
 
+from repro.core.batching import Batcher
 from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.lisp.mapcache import MapCache
 from repro.lisp.messages import (
+    EidRecord,
     MapNotify,
     MapRegister,
     MapReply,
@@ -82,7 +84,8 @@ class EdgeRouter:
                  register_families=("ipv4", "ipv6", "mac"),
                  register_rlocs=None,
                  map_request_timeout_s=1.0, map_request_retries=2,
-                 default_route_to_border=True):
+                 default_route_to_border=True,
+                 batching=False, register_flush_s=2e-3):
         self.sim = sim
         self.name = name
         self.rloc = rloc
@@ -118,6 +121,11 @@ class EdgeRouter:
         #: drop on miss, exposing the raw initial-connection loss a
         #: reactive protocol would otherwise have.
         self.default_route_to_border = default_route_to_border
+        #: control-plane fast path: coalesce per-family registers (and
+        #: deregistrations, in-band) per server within a flush window.
+        self.batching = batching
+        self.register_flush_s = register_flush_s
+        self._register_batchers = {}   # server rloc -> Batcher
 
         self.vrf = VrfTable()
         self.map_cache = MapCache(sim, default_ttl=map_cache_ttl, negative_ttl=negative_ttl)
@@ -251,12 +259,21 @@ class EdgeRouter:
         """Map-Register all three EIDs (IPv4, IPv6, MAC) — sec. 4.1.
 
         IP registrations carry the endpoint MAC so the routing server can
-        answer ARP-style IP-to-MAC lookups (sec. 3.5).
+        answer ARP-style IP-to-MAC lookups (sec. 3.5).  With batching on
+        the families ride one multi-record message per server (plus
+        whatever other endpoints register within the flush window).
         """
         for eid in self._endpoint_eids(endpoint):
             if eid.family not in self.register_families:
                 continue
             for server_rloc in self.register_rlocs:
+                if self.batching:
+                    self._submit_register_record(server_rloc, EidRecord(
+                        endpoint.vn, eid, self.rloc, group=endpoint.group,
+                        mac=endpoint.mac if eid.family != "mac" else None,
+                        mobility=roaming,
+                    ))
+                    continue
                 register = MapRegister(
                     endpoint.vn, eid, self.rloc, endpoint.group,
                     mac=endpoint.mac if eid.family != "mac" else None,
@@ -264,6 +281,24 @@ class EdgeRouter:
                 )
                 self.counters.map_registers_sent += 1
                 self._send_control(server_rloc, register)
+
+    def _submit_register_record(self, server_rloc, record):
+        batcher = self._register_batchers.get(server_rloc)
+        if batcher is None:
+            batcher = Batcher(
+                self.sim,
+                lambda records, rloc=server_rloc:
+                    self._flush_registers(rloc, records),
+                window_s=self.register_flush_s,
+            )
+            self._register_batchers[server_rloc] = batcher
+        batcher.submit(record)
+
+    def _flush_registers(self, server_rloc, records):
+        if self.rebooting:
+            return  # state was reset; these records are from before
+        self.counters.map_registers_sent += 1
+        self._send_control(server_rloc, MapRegister(records=records))
 
     def detach_endpoint(self, endpoint, deregister=False):
         """Endpoint left this edge (roam-away or shutdown).
@@ -283,6 +318,13 @@ class EdgeRouter:
                 if eid.family not in self.register_families:
                     continue
                 for server_rloc in self.register_rlocs:
+                    if self.batching:
+                        # In-band withdrawal keeps FIFO order against a
+                        # registration still sitting in the open batch.
+                        self._submit_register_record(server_rloc, EidRecord(
+                            endpoint.vn, eid, self.rloc, withdraw=True,
+                        ))
+                        continue
                     self._send_control(
                         server_rloc,
                         MapUnregister(endpoint.vn, eid, self.rloc),
@@ -545,6 +587,9 @@ class EdgeRouter:
             self._finish_auth(message)
         elif kind == "sxp-update":
             self._handle_sxp(message)
+        elif kind == "sxp-batch":
+            for update in message.updates:
+                self._handle_sxp(update)
         # Unknown kinds are ignored (forward compatibility).
 
     def _handle_map_reply(self, reply):
@@ -575,11 +620,18 @@ class EdgeRouter:
             self.l2_gateway.on_map_reply(reply)
 
     def _handle_map_notify(self, notify):
-        """Fig. 5 steps 2-3: pull the roamed endpoint's new location."""
+        """Fig. 5 steps 2-3: pull the roamed endpoint's new location.
+
+        One message may carry several records (aggregated batch notify);
+        each record is processed independently.
+        """
         self.counters.notifies_received += 1
-        record = notify.record
+        for record in notify.mapping_records:
+            self._apply_notify_record(record)
+
+    def _apply_notify_record(self, record):
         # The endpoint may still be in our VRF if the move raced detection.
-        entry = self.vrf.lookup_ip(notify.vn, record.eid.address)
+        entry = self.vrf.lookup_ip(record.vn, record.eid.address)
         if entry is not None and record.rloc != self.rloc:
             if entry.endpoint.edge is self:
                 # Delayed notify from an *earlier* move: the endpoint
@@ -590,7 +642,7 @@ class EdgeRouter:
         if record.rloc != self.rloc:
             ttl = min(record.ttl, self.map_cache.default_ttl)
             self.map_cache.install(
-                notify.vn, record.eid, record.rloc,
+                record.vn, record.eid, record.rloc,
                 group=record.group, version=record.version, ttl=ttl,
                 mac=record.mac,
             )
@@ -635,6 +687,8 @@ class EdgeRouter:
         self._pending_resolution = {}
         self._pending_auth = {}
         self._ports = {}
+        for batcher in self._register_batchers.values():
+            batcher.discard()
         if silent_in_igp:
             self.underlay.set_announced(self.rloc, False)
         self.sim.schedule(duration_s, self._reboot_done, silent_in_igp)

@@ -43,7 +43,10 @@ class FabricConfig:
                  use_igp=True, l2_services=False,
                  underlay_jitter_s=20e-6,
                  register_families=("ipv4", "ipv6", "mac"), seed=42,
-                 mac_block=0):
+                 mac_block=0,
+                 batching=False, register_flush_s=2e-3,
+                 session_cache=False, session_cache_ttl_s=600.0,
+                 cached_auth_service_s=50e-6):
         if num_borders < 1:
             raise ConfigurationError("a fabric needs at least one border")
         if num_edges < 1:
@@ -67,6 +70,15 @@ class FabricConfig:
         #: disjoint MAC numbering block (multi-site: one block per site so
         #: endpoints minted by different fabrics never collide on MAC)
         self.mac_block = mac_block
+        #: control-plane fast path knobs (all off by default so every
+        #: experiment can ablate them): ``batching`` batches edge
+        #: Map-Registers + SXP deltas; ``session_cache`` enables RADIUS
+        #: session resumption on the policy server.
+        self.batching = batching
+        self.register_flush_s = register_flush_s
+        self.session_cache = session_cache
+        self.session_cache_ttl_s = session_cache_ttl_s
+        self.cached_auth_service_s = cached_auth_service_s
 
 
 #: RLOC numbering plan: infra services, borders and edges live in 192.168/16.
@@ -123,9 +135,13 @@ class FabricNetwork:
             self.sim, self.plan, underlay=self.underlay,
             rloc=IPv4Address.parse(_RLOC_POLICY), node=self._spines[0],
             seed=cfg.seed + 2,
+            session_cache=cfg.session_cache,
+            session_cache_ttl_s=cfg.session_cache_ttl_s,
+            cached_auth_service_s=cfg.cached_auth_service_s,
         )
         self.sxp = SxpSpeaker(self.sim, underlay=self.underlay,
-                              rloc=self.policy_server.rloc)
+                              rloc=self.policy_server.rloc,
+                              batching=cfg.batching)
         self.policy_server.on_matrix_change(self.sxp.distribute_rule)
         self.policy_server.on_group_change(self._on_group_change)
         self.policy_server.on_session(self._on_session)
@@ -160,6 +176,8 @@ class FabricNetwork:
                 negative_ttl=cfg.negative_ttl,
                 detection_delay_s=cfg.edge_detection_delay_s,
                 register_families=cfg.register_families,
+                batching=cfg.batching,
+                register_flush_s=cfg.register_flush_s,
             )
             if cfg.l2_services:
                 L2Gateway(edge)

@@ -24,6 +24,7 @@ with offered load (fig. 7c) but not with table size.
 
 from repro.lisp.messages import (
     LISP_PORT,
+    EidRecord,
     MapRegister,
     MapUnregister,
     MapRequest,
@@ -40,6 +41,7 @@ from repro.lisp.mapcache import MapCache, MapCacheEntry
 
 __all__ = [
     "LISP_PORT",
+    "EidRecord",
     "MapRegister",
     "MapUnregister",
     "MapRequest",

@@ -8,6 +8,24 @@ Negative entries cache "no such destination" replies with a short TTL —
 the mechanism the paper invokes to explain nighttime FIB shrinkage in
 building B (sec. 4.2: a resolution "with a negative result ... thereby
 deleting that FIB entry").
+
+Fast path
+---------
+``lookup`` runs once per data packet, so it carries two layers of
+memoization (both invisible to callers):
+
+* the per-(VN, family) trie resolution is memoized — repeated lookups in
+  the same VN/family skip the dict probe and key-tuple allocation;
+* a single-entry **hot-flow cache** remembers the last (VN, key) ->
+  entry resolution, so a burst of packets on one flow costs one
+  comparison instead of a trie descent.  Any mutation (install,
+  invalidate, sweep, expiry) clears it, because a new more-specific
+  prefix can legitimately change the longest-prefix answer.
+
+``sweep`` and ``invalidate_rloc`` keep cheap per-trie indices — the
+soonest expiry per trie (a lower bound, recomputed on sweep) and a live
+count per RLOC — so periodic sweeps and IGP down-events short-circuit
+tries that cannot contain a victim instead of walking every entry.
 """
 
 from __future__ import annotations
@@ -49,6 +67,11 @@ class MapCache:
     event queue free of per-entry timers at 16k-endpoint scale.
     """
 
+    __slots__ = ("sim", "default_ttl", "negative_ttl", "_tries", "_count",
+                 "hits", "misses", "expirations", "invalidations",
+                 "_trie_memo_key", "_trie_memo", "_hot_key", "_hot_entry",
+                 "_soonest", "_rloc_counts")
+
     def __init__(self, sim, default_ttl=1200.0, negative_ttl=15.0):
         self.sim = sim
         self.default_ttl = default_ttl
@@ -59,6 +82,17 @@ class MapCache:
         self.misses = 0
         self.expirations = 0
         self.invalidations = 0
+        #: memoized trie resolution (the common case is one flow = many
+        #: packets = one (vn, family))
+        self._trie_memo_key = None
+        self._trie_memo = None
+        #: single-entry hot-flow cache: (vn int, key Prefix) -> entry
+        self._hot_key = None
+        self._hot_entry = None
+        #: per-trie soonest expiry (lower bound; refreshed on sweep)
+        self._soonest = {}
+        #: per-trie {rloc: live positive entries} for invalidate_rloc
+        self._rloc_counts = {}
 
     def __len__(self):
         """Live (unexpired) positive entries — the FIB occupancy metric."""
@@ -72,11 +106,44 @@ class MapCache:
 
     def _trie(self, vn, family, create=False):
         key = (int(vn), family)
+        if key == self._trie_memo_key:
+            return self._trie_memo
         trie = self._tries.get(key)
-        if trie is None and create:
+        if trie is None:
+            if not create:
+                return None
             trie = PatriciaTrie(family)
             self._tries[key] = trie
+        # Only existing tries are memoized, so the memo never goes stale
+        # (tries are created once and never dropped).
+        self._trie_memo_key = key
+        self._trie_memo = trie
         return trie
+
+    # -- index bookkeeping ---------------------------------------------------------------
+    def _note_added(self, key, entry, replaced):
+        if replaced is not None:
+            self._note_removed(key, replaced)
+        if not entry.negative and entry.rloc is not None:
+            counts = self._rloc_counts.get(key)
+            if counts is None:
+                counts = self._rloc_counts[key] = {}
+            counts[entry.rloc] = counts.get(entry.rloc, 0) + 1
+        soonest = self._soonest.get(key)
+        if soonest is None or entry.expires_at < soonest:
+            self._soonest[key] = entry.expires_at
+
+    def _note_removed(self, key, entry):
+        # _soonest is a lower bound: a removal can only make the true
+        # soonest later, which costs at most one wasted sweep walk.
+        if not entry.negative and entry.rloc is not None:
+            counts = self._rloc_counts.get(key)
+            if counts is not None:
+                remaining = counts.get(entry.rloc, 0) - 1
+                if remaining <= 0:
+                    counts.pop(entry.rloc, None)
+                else:
+                    counts[entry.rloc] = remaining
 
     # -- population ----------------------------------------------------------------------
     def install(self, vn, eid, rloc, group=None, version=1, ttl=None, mac=None):
@@ -96,15 +163,20 @@ class MapCache:
         entry = MapCacheEntry(vn, eid, rloc, group, version, expires, mac=mac,
                               last_used=self.sim.now)
         trie.insert(eid, entry)
+        self._note_added((int(vn), eid.family), entry, existing)
+        self._hot_key = None
         return True
 
     def install_negative(self, vn, eid, ttl=None):
         """Cache a negative reply (destination unknown)."""
         trie = self._trie(vn, eid.family, create=True)
+        existing = trie.lookup_exact(eid)
         expires = self.sim.now + (self.negative_ttl if ttl is None else ttl)
         entry = MapCacheEntry(vn, eid, None, None, 0, expires, negative=True,
                               last_used=self.sim.now)
         trie.insert(eid, entry)
+        self._note_added((int(vn), eid.family), entry, existing)
+        self._hot_key = None
 
     # -- lookup ---------------------------------------------------------------------------
     def lookup(self, vn, address):
@@ -116,7 +188,16 @@ class MapCache:
         use default route without re-querying".
         """
         key = address.to_prefix() if not isinstance(address, Prefix) else address
-        trie = self._trie(vn, key.family)
+        vn_int = int(vn)
+        now = self.sim.now
+        if self._hot_key is not None and self._hot_key == (vn_int, key):
+            entry = self._hot_entry
+            if entry.expires_at > now:
+                entry.last_used = now
+                self.hits += 1
+                return entry
+            self._hot_key = None   # expired; fall through and delete it
+        trie = self._trie(vn_int, key.family)
         if trie is None:
             self.misses += 1
             return None
@@ -125,13 +206,17 @@ class MapCache:
             self.misses += 1
             return None
         prefix, entry = hit
-        if entry.expires_at <= self.sim.now:
+        if entry.expires_at <= now:
             trie.delete(prefix)
+            self._note_removed((vn_int, key.family), entry)
+            self._hot_key = None
             self.expirations += 1
             self.misses += 1
             return None
-        entry.last_used = self.sim.now
+        entry.last_used = now
         self.hits += 1
+        self._hot_key = (vn_int, key)
+        self._hot_entry = entry
         return entry
 
     def invalidate(self, vn, eid):
@@ -139,25 +224,37 @@ class MapCache:
         trie = self._trie(vn, eid.family)
         if trie is None:
             return False
-        if trie.delete(eid):
-            self.invalidations += 1
-            return True
-        return False
+        entry = trie.lookup_exact(eid)
+        if entry is None:
+            return False
+        trie.delete(eid)
+        self._note_removed((int(vn), eid.family), entry)
+        self._hot_key = None
+        self.invalidations += 1
+        return True
 
     def invalidate_rloc(self, rloc):
         """Drop every entry pointing at an RLOC (underlay outage, sec. 5.1).
 
-        Returns the number of entries removed.
+        Returns the number of entries removed.  Tries whose RLOC index
+        shows no entry for ``rloc`` are skipped without a walk — the
+        common case when an IGP down-event fans out to every edge.
         """
         removed = 0
-        for trie in self._tries.values():
+        for key, trie in self._tries.items():
+            counts = self._rloc_counts.get(key)
+            if not counts or rloc not in counts:
+                continue
             victims = [
-                prefix for prefix, entry in trie.items()
+                (prefix, entry) for prefix, entry in trie.items()
                 if not entry.negative and entry.rloc == rloc
             ]
-            for prefix in victims:
+            for prefix, entry in victims:
                 trie.delete(prefix)
+                self._note_removed(key, entry)
                 removed += 1
+        if removed:
+            self._hot_key = None
         self.invalidations += removed
         return removed
 
@@ -166,17 +263,32 @@ class MapCache:
 
         Called periodically by the owning router (and by the FIB samplers
         before counting, mirroring how the paper's CLI collection read
-        current state).
+        current state).  Tries whose soonest-expiry bound lies in the
+        future are skipped entirely.
         """
         now = self.sim.now
         removed = 0
-        for trie in self._tries.values():
-            victims = [
-                prefix for prefix, entry in trie.items() if entry.expires_at <= now
-            ]
-            for prefix in victims:
+        for key, trie in self._tries.items():
+            soonest = self._soonest.get(key)
+            if soonest is None or soonest > now:
+                continue
+            victims = []
+            next_soonest = None
+            for prefix, entry in trie.items():
+                if entry.expires_at <= now:
+                    victims.append((prefix, entry))
+                elif next_soonest is None or entry.expires_at < next_soonest:
+                    next_soonest = entry.expires_at
+            for prefix, entry in victims:
                 trie.delete(prefix)
+                self._note_removed(key, entry)
                 removed += 1
+            if next_soonest is None:
+                self._soonest.pop(key, None)
+            else:
+                self._soonest[key] = next_soonest
+        if removed:
+            self._hot_key = None
         self.expirations += removed
         return removed
 

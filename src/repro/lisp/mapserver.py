@@ -47,6 +47,8 @@ class RoutingServerStats(Counters):
     FIELDS = (
         "requests",
         "registers",
+        "register_records",
+        "batched_registers",
         "mobility_registers",
         "unregisters",
         "negative_replies",
@@ -100,11 +102,20 @@ class RoutingServer:
 
     # -- service model -------------------------------------------------------------
     def service_time(self, message):
-        """Service time for one message; independent of table occupancy."""
-        key_bits = 32
-        eid = getattr(message, "eid", None)
-        if eid is not None:
-            key_bits = eid.bits
+        """Service time for one message; independent of table occupancy.
+
+        A batched register pays the base (and jitter) once and the
+        per-bit trie work once *per record* — the amortization the
+        control-plane fast path exists for.
+        """
+        records = getattr(message, "records", None)
+        if records:
+            key_bits = sum(record.eid.bits for record in records)
+        else:
+            key_bits = 32
+            eid = getattr(message, "eid", None)
+            if eid is not None:
+                key_bits = eid.bits
         jitter = self._rng.uniform(0, self.service_jitter_s)
         return self.base_service_s + self.per_bit_service_s * key_bits + jitter
 
@@ -157,34 +168,72 @@ class RoutingServer:
         self._send(request.reply_to, reply)
 
     def _process_register(self, register):
+        """Apply a register message — single-record or batched.
+
+        A batch is applied atomically within one service slot, record by
+        record in submission order (so an in-band withdrawal cannot be
+        reordered against the registration it supersedes), with exactly
+        one version bump per record.  Fig. 5 notifies to previous edges
+        are aggregated per edge, and the registrar — if it asked for an
+        ack — gets a single Map-Notify carrying every committed record.
+        """
         self.stats.registers += 1
-        eid = register.eid
-        record = MappingRecord(
-            register.vn, eid, register.rloc, group=register.group,
-            mac=register.mac,
-            registered_at=self.sim.now,
-            ttl=register.ttl,
-        )
-        previous = self.database.register(record)
-        moved = previous is not None and previous.rloc != register.rloc
-        if moved:
-            self.stats.mobility_registers += 1
-            # Fig. 5 step 2: tell the previous edge to pull the new
-            # location and redirect in-flight traffic.
+        batched = register.records is not None
+        if batched:
+            self.stats.batched_registers += 1
+        committed = []             # record copies for the aggregated ack
+        pending_notifies = {}      # previous rloc -> [record copies]
+        for eid_record in register.eid_records:
+            eid = eid_record.eid
+            if eid_record.withdraw:
+                self.stats.unregisters += 1
+                removed = self.database.unregister(
+                    eid_record.vn, eid, eid_record.rloc
+                )
+                if removed is not None:
+                    self._publish(eid_record.vn, eid, None)
+                continue
+            self.stats.register_records += 1
+            record = MappingRecord(
+                eid_record.vn, eid, eid_record.rloc, group=eid_record.group,
+                mac=eid_record.mac,
+                registered_at=self.sim.now,
+                ttl=eid_record.ttl,
+            )
+            previous = self.database.register(record)
+            moved = previous is not None and previous.rloc != eid_record.rloc
+            if moved:
+                self.stats.mobility_registers += 1
+                # Fig. 5 step 2: tell the previous edge to pull the new
+                # location and redirect in-flight traffic (aggregated
+                # per previous edge when several records moved off it).
+                pending_notifies.setdefault(previous.rloc, []).append(
+                    record.copy()
+                )
+            if previous is None or moved:
+                self._publish(eid_record.vn, eid, record)
+            committed.append(record.copy())
+        for previous_rloc, records in pending_notifies.items():
             self.stats.notifies_sent += 1
-            self._send(previous.rloc, MapNotify(register.vn, eid, record.copy()))
-        if previous is None or moved:
-            self._publish(register.vn, eid, record)
-        if register.registrar_rloc is not None:
+            if len(records) == 1:
+                notify = MapNotify(records[0].vn, records[0].eid, records[0])
+            else:
+                notify = MapNotify(records=records)
+            self._send(previous_rloc, notify)
+        if register.registrar_rloc is not None and committed:
             # Proxied registration (fabric wireless): ack the registrar
-            # with the committed record so it can fan the authoritative
-            # version out to edges holding stale state.  The register's
-            # nonce is echoed so the registrar can match the ack to the
-            # exact registration instance (not just the EID/RLOC pair).
+            # with the committed record(s) so it can fan the
+            # authoritative version out to edges holding stale state.
+            # The register's nonce is echoed so the registrar can match
+            # the ack to the exact registration instance (not just the
+            # EID/RLOC pair).
             self.stats.registrar_acks += 1
-            self._send(register.registrar_rloc,
-                       MapNotify(register.vn, eid, record.copy(),
-                                 nonce=register.nonce))
+            if not batched:
+                ack = MapNotify(register.vn, register.eid, committed[0],
+                                nonce=register.nonce)
+            else:
+                ack = MapNotify(records=committed, nonce=register.nonce)
+            self._send(register.registrar_rloc, ack)
 
     def _process_unregister(self, unregister):
         self.stats.unregisters += 1

@@ -19,6 +19,9 @@ LISP_PORT = 4342
 #: Wire size charged for a control message, bytes (header + one record).
 CONTROL_MESSAGE_SIZE = 120
 
+#: Incremental wire size per additional EID-record in a batched message.
+RECORD_SIZE = 40
+
 _nonce_counter = itertools.count(1)
 
 
@@ -38,6 +41,40 @@ class ControlMessage:
         self.nonce = next_nonce() if nonce is None else nonce
 
 
+class EidRecord:
+    """One EID-record inside a batched Map-Register.
+
+    Real Map-Registers carry a record *count* and a list of EID-records
+    (RFC 6833 fig. 11); this is that record.  ``withdraw=True`` makes
+    the record an in-band unregister — batched pipelines must carry
+    withdrawals through the same FIFO as registrations, or a buffered
+    register can be applied *after* the unregister that was meant to
+    supersede it (ghost-mapping race).  ``rloc`` doubles as the
+    unregister guard: a withdrawal only removes the mapping while it
+    still points at that RLOC.
+    """
+
+    __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl",
+                 "withdraw")
+
+    def __init__(self, vn, eid, rloc, group=None, mac=None, mobility=False,
+                 ttl=None, withdraw=False):
+        self.vn = vn
+        self.eid = eid
+        self.rloc = rloc
+        self.group = group
+        self.mac = mac
+        self.mobility = mobility
+        self.ttl = ttl
+        self.withdraw = withdraw
+
+    def __repr__(self):
+        return "EidRecord(vn=%d, %s %s %s)" % (
+            int(self.vn), self.eid,
+            "withdrawn-from" if self.withdraw else "->", self.rloc,
+        )
+
+
 class MapRegister(ControlMessage):
     """Edge -> server: (VN, EID) is now at ``rloc``.
 
@@ -50,16 +87,27 @@ class MapRegister(ControlMessage):
     is the edge but the register was *sent* by the registrar, which asks
     for a Map-Notify acknowledgement (the M-bit of RFC 6833) so it knows
     the location update completed.
+
+    A batched register carries several :class:`EidRecord` in ``records``
+    (the control-plane fast path): the server applies the whole batch
+    atomically under one base service charge and returns one aggregated
+    ack.  Single-record messages leave ``records`` as ``None`` and keep
+    the flat attribute form.
     """
 
     __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl",
-                 "registrar_rloc")
+                 "registrar_rloc", "records")
 
     kind = "map-register"
 
-    def __init__(self, vn, eid, rloc, group, mac=None, mobility=False, ttl=None,
-                 registrar_rloc=None, nonce=None):
+    def __init__(self, vn=None, eid=None, rloc=None, group=None, mac=None,
+                 mobility=False, ttl=None, registrar_rloc=None, records=None,
+                 nonce=None):
         super().__init__(nonce)
+        if records:
+            records = tuple(records)
+            first = records[0]
+            vn, eid, rloc, group = first.vn, first.eid, first.rloc, first.group
         self.vn = vn
         self.eid = eid
         self.rloc = rloc
@@ -70,8 +118,26 @@ class MapRegister(ControlMessage):
         self.ttl = ttl
         #: where the Map-Notify ack goes; ``None`` = no ack requested
         self.registrar_rloc = registrar_rloc
+        #: batched EID-records (``None`` = classic single-record message)
+        self.records = records if records else None
+
+    @property
+    def eid_records(self):
+        """The message's records, batched or not, as :class:`EidRecord`."""
+        if self.records is not None:
+            return self.records
+        return (EidRecord(self.vn, self.eid, self.rloc, group=self.group,
+                          mac=self.mac, mobility=self.mobility, ttl=self.ttl),)
+
+    @property
+    def record_count(self):
+        return len(self.records) if self.records is not None else 1
 
     def __repr__(self):
+        if self.records is not None:
+            return "MapRegister(batch of %d, vn=%d)" % (
+                len(self.records), int(self.vn)
+            )
         return "MapRegister(vn=%d, %s -> %s%s)" % (
             int(self.vn), self.eid, self.rloc, ", roam" if self.mobility else ""
         )
@@ -139,17 +205,40 @@ class MapNotify(ControlMessage):
     for the endpoint.  Carries the new record so the pull costs no extra
     round trip in the common case (the paper's step 3 "pull the new
     location data" is the confirmation fetch).
+
+    A batched notify (aggregated registration ack, or several endpoints
+    that moved off the same edge in one batch) carries the full list in
+    ``records``; receivers iterate :attr:`mapping_records`, which is a
+    one-element tuple for the classic single-record form.
     """
 
-    __slots__ = ("vn", "eid", "record")
+    __slots__ = ("vn", "eid", "record", "records")
 
     kind = "map-notify"
 
-    def __init__(self, vn, eid, record, nonce=None):
+    def __init__(self, vn=None, eid=None, record=None, records=None,
+                 nonce=None):
         super().__init__(nonce)
+        if records:
+            records = tuple(records)
+            first = records[0]
+            vn, eid, record = first.vn, first.eid, first
         self.vn = vn
         self.eid = eid
         self.record = record
+        #: batched records (``None`` = classic single-record message)
+        self.records = records if records else None
+
+    @property
+    def mapping_records(self):
+        """Records carried, batched or not (each knows its vn/eid)."""
+        if self.records is not None:
+            return self.records
+        return (self.record,)
+
+    @property
+    def record_count(self):
+        return len(self.records) if self.records is not None else 1
 
 
 class SolicitMapRequest(ControlMessage):
@@ -249,9 +338,15 @@ class PublishUpdate(ControlMessage):
 
 
 def control_packet(src_rloc, dst_rloc, message):
-    """Wrap a control message in an underlay UDP packet."""
+    """Wrap a control message in an underlay UDP packet.
+
+    Batched messages are charged their real size — the base message plus
+    one :data:`RECORD_SIZE` per extra record — so bandwidth accounting
+    stays honest when the fast path aggregates registrations.
+    """
+    extra = getattr(message, "record_count", 1) - 1
     return Packet(
         headers=[IpHeader(src_rloc, dst_rloc), UdpHeader(LISP_PORT, LISP_PORT)],
         payload=message,
-        size=CONTROL_MESSAGE_SIZE,
+        size=CONTROL_MESSAGE_SIZE + RECORD_SIZE * extra,
     )

@@ -331,6 +331,13 @@ class MultiSiteNetwork:
         previous_foreign = self._foreign_site.get(endpoint.identity)
         eid = endpoint.ip.to_prefix()
         if site_index != home:
+            if previous_foreign == site_index:
+                # Intra-site roam of an already-roamed-out endpoint: the
+                # home anchor already hairpins to this site's border, so
+                # re-announcing would only inflate transit signaling
+                # (ROADMAP race (c)); the edge-to-edge move is entirely
+                # the foreign site's local business.
+                return
             # Foreign attach: this site's border tells the home border.
             self._foreign_site[endpoint.identity] = site_index
             self.transit_borders[site_index].announce_away(

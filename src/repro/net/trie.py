@@ -39,11 +39,20 @@ class _Node:
 
 
 def _common_prefix_length(a, b, limit):
-    """Number of leading bits shared by prefixes ``a`` and ``b`` (<= limit)."""
-    length = 0
-    while length < limit and a.bit(length) == b.bit(length):
-        length += 1
-    return length
+    """Number of leading bits shared by prefixes ``a`` and ``b`` (<= limit).
+
+    One XOR + one ``bit_length`` instead of a per-bit Python loop: this
+    runs on every node of every trie descent, i.e. per data packet on
+    the map-cache fast path.  Prefixes are canonicalized (host bits
+    zero), so comparing the top ``limit`` bits of the raw values is
+    exact.
+    """
+    if limit <= 0:
+        return 0
+    diff = (int(a.address) ^ int(b.address)) >> (a.bits - limit)
+    if diff == 0:
+        return limit
+    return limit - diff.bit_length()
 
 
 class PatriciaTrie:
@@ -52,6 +61,8 @@ class PatriciaTrie:
     Supports exact insert/delete and longest-prefix-match lookup.  All keys
     must belong to the same address family (enforced on first insert).
     """
+
+    __slots__ = ("_root", "_family", "_size")
 
     def __init__(self, family=None):
         self._root = None

@@ -121,6 +121,19 @@ class VxlanGpoHeader:
 ENCAP_OVERHEAD = 20 + 8 + 8
 
 
+def flow_entropy_port(src, dst):
+    """The VXLAN source port carrying a flow's ECMP entropy.
+
+    Integer mixing, not hash(): flow entropy must not depend on
+    PYTHONHASHSEED or runs stop being reproducible across processes
+    (ECMP path choice feeds delivery timing).  Deliberately *not*
+    memoized per flow: the mix is two integer ops, measurably cheaper
+    than any dict probe keyed on the address pair.
+    """
+    mixed = (int(src) * 2654435761) ^ int(dst)
+    return 0xC000 | (mixed & 0x3FFF)
+
+
 def encapsulate(packet, outer_src, outer_dst, vni, group, src_port=None):
     """Wrap ``packet`` in outer IP/UDP/VXLAN-GPO headers (in place).
 
@@ -130,12 +143,7 @@ def encapsulate(packet, outer_src, outer_dst, vni, group, src_port=None):
     if src_port is None:
         inner = packet.inner_ip()
         if inner is not None:
-            # Integer mixing, not hash(): flow entropy must not depend
-            # on PYTHONHASHSEED or runs stop being reproducible across
-            # processes (ECMP path choice feeds delivery timing) — and
-            # this runs per data packet, so no string/CRC allocation.
-            mixed = (int(inner.src) * 2654435761) ^ int(inner.dst)
-            src_port = 0xC000 | (mixed & 0x3FFF)
+            src_port = flow_entropy_port(inner.src, inner.dst)
         else:
             src_port = 0xC000
     header = VxlanGpoHeader(vni=vni, group=group)

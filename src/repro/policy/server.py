@@ -95,10 +95,27 @@ class PolicyServer:
     Parameters mirror :class:`repro.lisp.RoutingServer`: attach to an
     underlay for simulated operation, or use the direct API
     (:meth:`authenticate`) in tests and pure-policy benchmarks.
+
+    Auth fast path
+    --------------
+    ``session_cache`` turns on the roam-storm optimization: after a
+    successful full authentication, the identity's session can be
+    *resumed* for ``session_cache_ttl_s`` — a re-auth (the dominant
+    control-plane cost of a roam) then charges ``cached_auth_service_s``
+    on the CPU instead of the full RADIUS/EAP exchange, exactly like
+    802.11 fast reconnect / opportunistic key caching.  The cache only
+    changes *timing*: every request still runs the real credential and
+    rule-slice computation, so accept/reject results and returned
+    attributes are identical with the flag on or off.  Revocations
+    (:meth:`disable`) and group moves (:meth:`reassign_group`) drop the
+    session so the next auth pays full price.  Off by default: every
+    experiment opts in explicitly so the knob can be ablated.
     """
 
     def __init__(self, sim, plan, underlay=None, rloc=None, node=None,
-                 auth_service_s=2e-3, service_jitter_s=0.5e-3, seed=13):
+                 auth_service_s=2e-3, service_jitter_s=0.5e-3, seed=13,
+                 session_cache=False, session_cache_ttl_s=600.0,
+                 cached_auth_service_s=50e-6):
         self.sim = sim
         self.plan = plan
         self.matrix = ConnectivityMatrix(plan)
@@ -106,6 +123,12 @@ class PolicyServer:
         self.rloc = rloc
         self.auth_service_s = auth_service_s
         self.service_jitter_s = service_jitter_s
+        self.session_cache = session_cache
+        self.session_cache_ttl_s = session_cache_ttl_s
+        self.cached_auth_service_s = cached_auth_service_s
+        self._auth_cache = {}   # EndpointId -> resumable-until time
+        self.auth_cache_hits = 0
+        self.auth_cache_misses = 0
         self._rng = SeededRng(seed)
         self._credentials = {}
         self._cpu = SerialQueue(sim)
@@ -141,6 +164,9 @@ class PolicyServer:
     def disable(self, identity):
         credential = self._credential(identity)
         credential.enabled = False
+        # Revocation kills the resumable session: the next auth runs the
+        # full exchange (and rejects).
+        self._auth_cache.pop(EndpointId(identity), None)
 
     def _credential(self, identity):
         try:
@@ -163,6 +189,8 @@ class PolicyServer:
             )
         old = credential.group
         credential.group = plan_group.group_id
+        # The session's authorization changed; force a full re-auth.
+        self._auth_cache.pop(credential.identity, None)
         for listener in self._group_change_listeners:
             listener(credential.identity, old, plan_group.group_id)
         return old
@@ -243,14 +271,28 @@ class PolicyServer:
         message = packet.payload
         if message.kind != AccessRequest.kind:
             raise PolicyError("policy server got %r" % message.kind)
-        service = self.auth_service_s + self._rng.uniform(0, self.service_jitter_s)
-        self._cpu.submit(service, self._answer, message)
+        self._cpu.submit(self._auth_service_time(message.identity),
+                         self._answer, message)
+
+    def _auth_service_time(self, identity):
+        """CPU charge for one auth: session resumption vs full exchange."""
+        if self.session_cache:
+            resumable_until = self._auth_cache.get(EndpointId(identity))
+            if resumable_until is not None and resumable_until > self.sim.now:
+                self.auth_cache_hits += 1
+                return self.cached_auth_service_s
+            self.auth_cache_misses += 1
+        return self.auth_service_s + self._rng.uniform(0, self.service_jitter_s)
 
     def _answer(self, request):
         result = self.authenticate(request.identity, request.secret,
                                    enforcement=request.enforcement)
         result.nonce = request.nonce
         if result.accepted:
+            if self.session_cache:
+                self._auth_cache[EndpointId(request.identity)] = (
+                    self.sim.now + self.session_cache_ttl_s
+                )
             session_rloc = request.session_rloc or request.reply_to
             self._record_session(request.identity, session_rloc, result.group)
         if self.underlay is not None:

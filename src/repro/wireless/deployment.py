@@ -27,7 +27,8 @@ class WirelessConfig:
 
     def __init__(self, aps_per_edge=1, wlc_service_s=150e-6,
                  air_delay_s=AIR_DELAY_S, uplink_delay_s=UPLINK_DELAY_S,
-                 register_families=("ipv4", "mac")):
+                 register_families=("ipv4", "mac"),
+                 batching=False, register_flush_s=2e-3):
         if aps_per_edge < 1:
             raise ConfigurationError("need at least one AP per edge")
         self.aps_per_edge = aps_per_edge
@@ -35,6 +36,10 @@ class WirelessConfig:
         self.air_delay_s = air_delay_s
         self.uplink_delay_s = uplink_delay_s
         self.register_families = tuple(register_families)
+        #: control-plane fast path: the WLC coalesces per-family
+        #: registers per routing server within this flush window
+        self.batching = batching
+        self.register_flush_s = register_flush_s
 
 
 class WirelessFabric:
@@ -53,6 +58,8 @@ class WirelessFabric:
             dhcp=net.dhcp,
             service_s=cfg.wlc_service_s,
             register_families=cfg.register_families,
+            batching=cfg.batching,
+            register_flush_s=cfg.register_flush_s,
         )
         self.aps = []
         for edge in net.edges:

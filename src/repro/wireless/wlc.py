@@ -30,14 +30,17 @@ exactly the scaling property the fabric design buys.
 
 from __future__ import annotations
 
+from repro.core.batching import Batcher
 from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.core.queueing import SerialQueue
 from repro.lisp.messages import (
+    EidRecord,
     MapNotify,
     MapRegister,
     MapUnregister,
     control_packet,
+    next_nonce,
 )
 from repro.policy.server import AccessRequest, AccessResult
 
@@ -53,6 +56,8 @@ class FabricWlcStats(Counters):
         "auth_requests",
         "auth_rejects",
         "registers_sent",
+        "register_records_sent",
+        "register_batches_sent",
         "unregisters_sent",
         "registrar_acks_received",
         "stale_edge_notifies",
@@ -80,11 +85,19 @@ class FabricWlc:
         registration requests an ack (so the roam-chain relay can
         refresh stale caches per family); the IPv4 ack doubles as the
         roam-completion sample.
+    batching / register_flush_s:
+        The control-plane fast path: with ``batching`` on, per-family
+        registers (and in-band withdrawals) are coalesced per routing
+        server inside a ``register_flush_s`` flush window and sent as
+        one multi-record Map-Register, which the server applies
+        atomically and acks with one aggregated Map-Notify.  Off by
+        default so every experiment can ablate the knob.
     """
 
     def __init__(self, sim, underlay, rloc, node, register_rlocs,
                  policy_server_rloc, dhcp, service_s=150e-6,
-                 register_families=("ipv4", "mac")):
+                 register_families=("ipv4", "mac"),
+                 batching=False, register_flush_s=2e-3):
         self.sim = sim
         self.underlay = underlay
         self.rloc = rloc
@@ -95,6 +108,10 @@ class FabricWlc:
         self.dhcp = dhcp
         self.service_s = service_s
         self.register_families = tuple(register_families)
+        self.batching = batching
+        self.register_flush_s = register_flush_s
+        self._batchers = {}       # server rloc -> Batcher of EidRecord
+        self._batch_nonce = {}    # server rloc -> nonce of the open batch
         self.stats = FabricWlcStats()
         #: registration-completion delay samples (radio association to
         #: the routing server's ack), for the roam-storm benches
@@ -208,6 +225,11 @@ class FabricWlc:
 
     def _register_station(self, station, edge_rloc, mobility, stale_rlocs, t0):
         stale = tuple(sorted(stale_rlocs, key=int))
+        if self.batching:
+            self._register_station_batched(
+                station, edge_rloc, mobility, stale, t0
+            )
+            return
         for eid in self._station_eids(station):
             # Every family gets an acked registration so the roam-chain
             # relay refreshes stale edges' caches for *all* of the
@@ -234,27 +256,103 @@ class FabricWlc:
                 self._send(server_rloc, register)
                 ack = False  # one ack per EID is enough
 
+    # ------------------------------------------------------------------ batched fast path
+    def _register_station_batched(self, station, edge_rloc, mobility,
+                                  stale, t0):
+        ack_server = self.register_rlocs[0]
+        for server_rloc in self.register_rlocs:
+            for eid in self._station_eids(station):
+                record = EidRecord(
+                    station.vn, eid, edge_rloc, group=station.group,
+                    mac=station.mac if eid.family != "mac" else None,
+                    mobility=mobility,
+                )
+                nonce = self._submit_record(server_rloc, record)
+                self.stats.register_records_sent += 1
+                if server_rloc == ack_server:
+                    # Same instance-pinning contract as the unbatched
+                    # path, with the *batch* nonce standing in for the
+                    # per-message one.
+                    self._pending_register[(int(station.vn), eid)] = (
+                        station, stale, t0, eid.family == "ipv4", nonce,
+                    )
+
+    def _submit_record(self, server_rloc, record):
+        """Queue a record on a server's open batch; returns its nonce.
+
+        The batch nonce is minted when the batch opens so pending-ack
+        bookkeeping can reference it before the flush builds the actual
+        message.
+        """
+        batcher = self._batchers.get(server_rloc)
+        if batcher is None:
+            batcher = Batcher(
+                self.sim,
+                lambda records, rloc=server_rloc:
+                    self._flush_registers(rloc, records),
+                window_s=self.register_flush_s,
+            )
+            self._batchers[server_rloc] = batcher
+        if batcher.pending == 0:
+            self._batch_nonce[server_rloc] = next_nonce()
+        # Capture before submit(): a synchronous flush (max_items, or
+        # any future flush-now path) pops the open-batch nonce.
+        nonce = self._batch_nonce[server_rloc]
+        batcher.submit(record)
+        return nonce
+
+    def _flush_registers(self, server_rloc, records):
+        nonce = self._batch_nonce.pop(server_rloc, None)
+        # Only the first server's registrations are acked (one ack per
+        # record instance is enough) and a withdraw-only batch needs no
+        # ack at all.
+        want_ack = (server_rloc == self.register_rlocs[0]
+                    and any(not record.withdraw for record in records))
+        register = MapRegister(
+            records=records,
+            registrar_rloc=self.rloc if want_ack else None,
+            nonce=nonce,
+        )
+        self.stats.registers_sent += 1
+        self.stats.register_batches_sent += 1
+        self._send(server_rloc, register)
+
     def _on_register_ack(self, notify):
-        """Routing server committed a proxied registration."""
-        key = (int(notify.vn), notify.eid)
-        pending = self._pending_register.get(key)
-        if pending is None:
-            return  # duplicate ack (multi-server fan-out) or stale
-        station, stale_rlocs, t0, is_completion, nonce = pending
-        if notify.nonce != nonce:
-            return  # ack for a superseded registration instance
-        if station.edge is None or notify.record.rloc != station.edge.rloc:
-            # Ack from a registration the station already roamed past;
-            # the in-flight newer registration's ack completes instead.
-            return
-        del self._pending_register[key]
-        self.stats.registrar_acks_received += 1
-        for rloc in stale_rlocs:
-            self.stats.stale_edge_notifies += 1
-            self._send(rloc, MapNotify(notify.vn, notify.eid,
-                                       notify.record.copy()))
-        if is_completion:
-            delay = self.sim.now - t0
+        """Routing server committed proxied registration(s).
+
+        Handles both the classic single-record ack and the aggregated
+        batch ack; stale-edge relays are re-aggregated per edge so a
+        batch of N roams costs each stale edge one message, not N.
+        """
+        relays = {}        # stale rloc -> [record copies]
+        completions = []   # (station, delay) in ack order
+        for record in notify.mapping_records:
+            key = (int(record.vn), record.eid)
+            pending = self._pending_register.get(key)
+            if pending is None:
+                continue  # duplicate ack (multi-server fan-out) or stale
+            station, stale_rlocs, t0, is_completion, nonce = pending
+            if notify.nonce != nonce:
+                continue  # ack for a superseded registration instance
+            if station.edge is None or record.rloc != station.edge.rloc:
+                # Ack from a registration the station already roamed
+                # past; the in-flight newer registration's ack completes
+                # instead.
+                continue
+            del self._pending_register[key]
+            self.stats.registrar_acks_received += 1
+            for rloc in stale_rlocs:
+                self.stats.stale_edge_notifies += 1
+                relays.setdefault(rloc, []).append(record.copy())
+            if is_completion:
+                completions.append((station, self.sim.now - t0))
+        for rloc, records in relays.items():
+            if len(records) == 1:
+                relay = MapNotify(records[0].vn, records[0].eid, records[0])
+            else:
+                relay = MapNotify(records=records)
+            self._send(rloc, relay)
+        for station, delay in completions:
             self.registration_delays.append(delay)
             if self.on_registered is not None:
                 self.on_registered(station, delay)
@@ -291,8 +389,17 @@ class FabricWlc:
             self._pending_register.pop((int(station.vn), eid), None)
             for server_rloc in self.register_rlocs:
                 self.stats.unregisters_sent += 1
-                self._send(server_rloc,
-                           MapUnregister(station.vn, eid, edge.rloc))
+                if self.batching:
+                    # In-band withdrawal: the record rides the same
+                    # FIFO batch as any still-buffered registration, so
+                    # the server can never apply them out of order.
+                    self._submit_record(
+                        server_rloc,
+                        EidRecord(station.vn, eid, edge.rloc, withdraw=True),
+                    )
+                else:
+                    self._send(server_rloc,
+                               MapUnregister(station.vn, eid, edge.rloc))
         # The roam history is deliberately *kept*: edges visited before
         # the withdrawal still hold notify-installed cache entries, and
         # only the next registration's relay can refresh them (there is

@@ -99,3 +99,31 @@ def test_client_count(sim, wlc_net):
     _client(aps[1], "10.0.0.2", log)
     sim.run()
     assert controller.client_count == 2
+
+
+def test_batched_handovers_cost_one_service_charge(sim):
+    """The fair-ablation knob: handover table updates arriving within
+    the flush window apply under one controller CPU charge."""
+    from repro.net.addresses import IPv4Address
+    from repro.underlay.network import UnderlayNetwork
+    from repro.underlay.topology import Topology
+
+    topo, spines, leaves = Topology.two_tier(2, 4)
+    underlay = UnderlayNetwork(sim, topo, seed=3)
+    batched = WlanController(sim, underlay,
+                             rloc=IPv4Address.parse("192.168.255.20"),
+                             node=spines[0], batching=True,
+                             handover_flush_s=1e-3)
+    aps = [
+        AccessPointTunnel(sim, "ap-%d" % i, leaves[i], batched, underlay,
+                          IPv4Address(0xC0A80001 + i))
+        for i in range(2)
+    ]
+    for n in range(10):
+        aps[0].attach_client(IPv4Address(0x0A000001 + n), lambda p, t: None)
+    sim.run()
+    assert batched.client_count == 10
+    assert batched.handover_batches == 1
+    # One handover service charge for the whole burst: the CPU was busy
+    # far less than 10x the per-handover cost.
+    assert batched._cpu.submitted == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the flush-window Batcher (control-plane fast path)."""
+
+from repro.core.batching import Batcher
+from repro.core.queueing import SerialQueue
+
+
+def test_items_within_window_ride_one_flush(sim):
+    batches = []
+    batcher = Batcher(sim, batches.append, window_s=1e-3)
+    batcher.submit("a")
+    batcher.submit("b")
+    sim.run(until=0.5e-3)
+    assert batches == []          # window still open
+    sim.run(until=2e-3)
+    assert batches == [["a", "b"]]
+    assert batcher.batches_flushed == 1
+    assert batcher.items_submitted == 2
+    assert batcher.max_batch == 2
+
+
+def test_submission_order_preserved_across_batches(sim):
+    batches = []
+    batcher = Batcher(sim, batches.append, window_s=1e-3)
+    batcher.submit(1)
+    sim.run(until=2e-3)
+    batcher.submit(2)
+    batcher.submit(3)
+    sim.run()
+    assert batches == [[1], [2, 3]]
+
+
+def test_zero_window_coalesces_the_current_event(sim):
+    batches = []
+    batcher = Batcher(sim, batches.append, window_s=0.0)
+
+    def burst():
+        batcher.submit("x")
+        batcher.submit("y")
+
+    sim.schedule(0.5, burst)
+    sim.run()
+    assert batches == [["x", "y"]]
+
+
+def test_max_items_flushes_early(sim):
+    batches = []
+    batcher = Batcher(sim, batches.append, window_s=1.0, max_items=2)
+    batcher.submit(1)
+    batcher.submit(2)     # hits the cap: flushes now, not after 1 s
+    assert batches == [[1, 2]]
+    batcher.submit(3)
+    sim.run()
+    assert batches == [[1, 2], [3]]
+
+
+def test_flush_now_and_discard(sim):
+    batches = []
+    batcher = Batcher(sim, batches.append, window_s=1.0)
+    batcher.submit("a")
+    batcher.flush_now()
+    assert batches == [["a"]]
+    batcher.submit("b")
+    batcher.discard()
+    sim.run()
+    assert batches == [["a"]]     # discarded batch never flushed
+    assert batcher.pending == 0
+
+
+def test_queue_charges_one_service_per_batch(sim):
+    queue = SerialQueue(sim)
+    done = []
+    batcher = Batcher(sim, lambda items: done.append((sim.now, items)),
+                      window_s=1e-3, queue=queue, service_s=5e-3)
+    for item in range(4):
+        batcher.submit(item)
+    sim.run()
+    # One flush, applied after exactly one service charge (window + 5 ms)
+    # — not four.
+    assert len(done) == 1
+    finish, items = done[0]
+    assert items == [0, 1, 2, 3]
+    assert abs(finish - (1e-3 + 5e-3)) < 1e-9
+    assert queue.submitted == 1

@@ -93,3 +93,52 @@ def test_sxp_update_exclusive_payload():
         SxpUpdate()
     with pytest.raises(PolicyError):
         SxpUpdate(binding=binding, rule=rule)
+
+
+def _eid(text="10.0.0.5/32"):
+    return Prefix.parse(text)
+
+
+def _rloc(text="192.168.0.1"):
+    return IPv4Address.parse(text)
+
+
+class TestBatchedMessages:
+    def test_single_record_register_is_its_own_record(self):
+        register = MapRegister(VN, _eid(), _rloc(), GroupId(7))
+        records = register.eid_records
+        assert register.records is None and len(records) == 1
+        assert records[0].eid == _eid() and not records[0].withdraw
+        assert register.record_count == 1
+
+    def test_batched_register_mirrors_first_record(self):
+        from repro.lisp import EidRecord
+        records = [
+            EidRecord(VN, _eid("10.0.0.%d/32" % i), _rloc()) for i in (1, 2, 3)
+        ]
+        register = MapRegister(records=records)
+        assert register.record_count == 3
+        assert register.eid == _eid("10.0.0.1/32")
+        assert register.eid_records == tuple(records)
+
+    def test_control_packet_charges_per_record(self):
+        from repro.lisp import EidRecord
+        from repro.lisp.messages import RECORD_SIZE
+        single = control_packet(_rloc(), _rloc("192.168.0.2"),
+                                MapRegister(VN, _eid(), _rloc(), GroupId(7)))
+        batch = control_packet(_rloc(), _rloc("192.168.0.2"), MapRegister(
+            records=[EidRecord(VN, _eid("10.0.0.%d/32" % i), _rloc())
+                     for i in (1, 2, 3)]))
+        assert single.size == CONTROL_MESSAGE_SIZE
+        assert batch.size == CONTROL_MESSAGE_SIZE + 2 * RECORD_SIZE
+
+    def test_batched_notify_iterates_records(self):
+        from repro.lisp import MappingRecord
+        records = [MappingRecord(VN, _eid("10.0.0.%d/32" % i), _rloc())
+                   for i in (1, 2)]
+        notify = MapNotify(records=records)
+        assert notify.record_count == 2
+        assert list(notify.mapping_records) == records
+        assert int(notify.vn) == int(VN) and notify.eid == _eid("10.0.0.1/32")
+        single = MapNotify(VN, _eid(), records[0])
+        assert single.mapping_records == (records[0],)

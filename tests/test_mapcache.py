@@ -132,3 +132,83 @@ class TestInvalidation:
         cache.install_negative(VN, _eid("10.0.0.9/32"))
         assert len(list(cache.entries())) == 1
         assert len(list(cache.entries(include_negative=True))) == 2
+
+
+class TestLookupFastPath:
+    """Memoized trie resolution + single-entry hot-flow cache."""
+
+    def test_repeat_lookup_hits_the_hot_entry(self, cache):
+        cache.install(VN, _eid(), _rloc())
+        addr = IPv4Address.parse("10.0.0.5")
+        first = cache.lookup(VN, addr)
+        second = cache.lookup(VN, addr)
+        assert second is first
+        assert cache.hits == 2
+
+    def test_more_specific_install_overrides_hot_entry(self, cache):
+        cache.install(VN, Prefix.parse("10.0.0.0/24"), _rloc("192.168.0.1"))
+        addr = IPv4Address.parse("10.0.0.5")
+        assert cache.lookup(VN, addr).rloc == _rloc("192.168.0.1")
+        # A more specific prefix changes the longest-prefix answer; the
+        # hot entry must not keep serving the /24.
+        cache.install(VN, _eid("10.0.0.5/32"), _rloc("192.168.0.2"))
+        assert cache.lookup(VN, addr).rloc == _rloc("192.168.0.2")
+
+    def test_invalidate_clears_hot_entry(self, cache):
+        cache.install(VN, _eid(), _rloc())
+        addr = IPv4Address.parse("10.0.0.5")
+        assert cache.lookup(VN, addr) is not None
+        cache.invalidate(VN, _eid())
+        assert cache.lookup(VN, addr) is None
+
+    def test_hot_entry_expires_like_any_other(self, cache):
+        cache.install(VN, _eid(), _rloc(), ttl=10.0)
+        addr = IPv4Address.parse("10.0.0.5")
+        assert cache.lookup(VN, addr) is not None
+        cache.sim.run(until=11.0)
+        assert cache.lookup(VN, addr) is None
+        assert cache.expirations == 1
+
+
+class TestSweepShortCircuit:
+    """The soonest-expiry / RLOC indices behind sweep + invalidate_rloc."""
+
+    def test_sweep_skips_tries_with_nothing_expiring(self, cache):
+        for i in range(1, 6):
+            cache.install(VN, _eid("10.0.0.%d/32" % i), _rloc(), ttl=50.0)
+        cache.sim.run(until=10.0)
+        assert cache.sweep() == 0
+        assert len(cache) == 5
+        cache.sim.run(until=60.0)
+        assert cache.sweep() == 5
+        assert len(cache) == 0
+        # A sweep after everything is gone is a no-op again.
+        assert cache.sweep() == 0
+
+    def test_sweep_tracks_next_soonest_expiry(self, cache):
+        cache.install(VN, _eid("10.0.0.1/32"), _rloc(), ttl=10.0)
+        cache.install(VN, _eid("10.0.0.2/32"), _rloc(), ttl=30.0)
+        cache.sim.run(until=15.0)
+        assert cache.sweep() == 1
+        cache.sim.run(until=31.0)
+        assert cache.sweep() == 1
+
+    def test_invalidate_rloc_skips_unrelated_tries(self, cache):
+        a = _rloc("192.168.0.1")
+        b = _rloc("192.168.0.2")
+        cache.install(VN, _eid("10.0.0.1/32"), a)
+        cache.install(VN, _eid("10.0.0.2/32"), b)
+        mac = MacAddress(0x02_00_00_00_00_01).to_prefix()
+        cache.install(VN, mac, b)
+        assert cache.invalidate_rloc(a) == 1
+        assert cache.invalidate_rloc(a) == 0     # index says: nothing left
+        assert cache.invalidate_rloc(b) == 2
+        assert len(cache) == 0
+
+    def test_rloc_index_survives_replacement(self, cache):
+        a = _rloc("192.168.0.1")
+        b = _rloc("192.168.0.2")
+        cache.install(VN, _eid(), a)
+        cache.install(VN, _eid(), b, version=2)  # same EID moves to b
+        assert cache.invalidate_rloc(a) == 0
+        assert cache.invalidate_rloc(b) == 1

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.types import GroupId, VNId
 from repro.lisp import (
+    EidRecord,
     MapRegister,
     MapRequest,
     MapUnregister,
@@ -138,3 +139,110 @@ class TestPubSub:
             server.handle_message(MapRegister(VN, _eid(), _rloc(), G))
             sim.run()
         assert server.stats.publishes_sent == 1   # only the first install
+
+
+class TestBatchedRegistration:
+    """The control-plane fast path: multi-record Map-Registers."""
+
+    def test_batch_applies_every_record_with_one_version_bump_each(
+            self, sim, server):
+        records = [
+            EidRecord(VN, _eid("10.0.0.%d/32" % i), _rloc(), group=G)
+            for i in range(1, 5)
+        ]
+        server.handle_message(MapRegister(records=records))
+        sim.run()
+        assert server.stats.registers == 1          # one message ...
+        assert server.stats.register_records == 4   # ... four records
+        assert server.stats.batched_registers == 1
+        for i in range(1, 5):
+            stored = server.database.lookup_exact(VN, _eid("10.0.0.%d/32" % i))
+            assert stored is not None and stored.version == 1
+
+    def test_batch_service_time_amortizes_the_base(self, sim):
+        server = RoutingServer(sim, seed=1, service_jitter_s=0.0)
+        single = MapRegister(VN, _eid(), _rloc(), G)
+        batch = MapRegister(records=[
+            EidRecord(VN, _eid("10.0.0.%d/32" % i), _rloc(), group=G)
+            for i in range(1, 5)
+        ])
+        # 4 records in one message cost far less than 4 messages: one
+        # base charge plus per-record trie work.
+        assert server.service_time(batch) < 4 * server.service_time(single)
+        assert server.service_time(batch) > server.service_time(single)
+
+    def test_in_band_withdraw_applies_in_fifo_order(self, sim, server):
+        eid = _eid()
+        server.handle_message(MapRegister(records=[
+            EidRecord(VN, eid, _rloc(), group=G),
+            EidRecord(VN, eid, _rloc(), withdraw=True),
+        ]))
+        sim.run()
+        # Register then withdraw, in order: the mapping is gone.
+        assert server.database.lookup_exact(VN, eid) is None
+        assert server.stats.unregisters == 1
+
+    def test_withdraw_guard_respects_current_rloc(self, sim, server):
+        eid = _eid()
+        server.preload([MappingRecord(VN, eid, _rloc("192.168.0.9"))])
+        server.handle_message(MapRegister(records=[
+            EidRecord(VN, eid, _rloc("192.168.0.1"), withdraw=True),
+        ]))
+        sim.run()
+        # The withdrawal names a stale RLOC: the fresher mapping stays.
+        assert server.database.lookup_exact(VN, eid) is not None
+
+    def test_aggregated_registrar_ack_carries_all_records(self, sim):
+        sent = []
+
+        class _Underlay:
+            igp = None
+            def attach(self, rloc, node, cb):
+                pass
+            def send(self, src, dst, packet):
+                sent.append((dst, packet.payload))
+
+        server = RoutingServer(sim, underlay=_Underlay(), rloc=_rloc("192.168.255.1"),
+                               node="n0")
+        registrar = _rloc("192.168.255.30")
+        message = MapRegister(records=[
+            EidRecord(VN, _eid("10.0.0.1/32"), _rloc(), group=G),
+            EidRecord(VN, _eid("10.0.0.2/32"), _rloc(), group=G),
+        ], registrar_rloc=registrar)
+        server.handle_message(message)
+        sim.run()
+        acks = [m for dst, m in sent if dst == registrar]
+        assert len(acks) == 1
+        ack = acks[0]
+        assert ack.nonce == message.nonce
+        assert sorted(str(r.eid) for r in ack.mapping_records) == \
+            ["10.0.0.1/32", "10.0.0.2/32"]
+        assert server.stats.registrar_acks == 1
+
+    def test_moves_in_one_batch_aggregate_notifies_per_old_edge(self, sim):
+        sent = []
+
+        class _Underlay:
+            igp = None
+            def attach(self, rloc, node, cb):
+                pass
+            def send(self, src, dst, packet):
+                sent.append((dst, packet.payload))
+
+        server = RoutingServer(sim, underlay=_Underlay(),
+                               rloc=_rloc("192.168.255.1"), node="n0")
+        old_edge = _rloc("192.168.0.8")
+        server.preload([
+            MappingRecord(VN, _eid("10.0.0.1/32"), old_edge),
+            MappingRecord(VN, _eid("10.0.0.2/32"), old_edge),
+        ])
+        server.handle_message(MapRegister(records=[
+            EidRecord(VN, _eid("10.0.0.1/32"), _rloc(), group=G),
+            EidRecord(VN, _eid("10.0.0.2/32"), _rloc(), group=G),
+        ]))
+        sim.run()
+        notifies = [m for dst, m in sent if dst == old_edge]
+        assert len(notifies) == 1                       # one message ...
+        assert notifies[0].record_count == 2            # ... two records
+        assert server.stats.notifies_sent == 1
+        assert server.stats.mobility_registers == 2

@@ -173,3 +173,36 @@ def test_single_site_federation_stays_local():
     # Nothing crossed the transit.
     assert net.transit_borders[0].counters.transit_reencapsulated == 0
     assert net.transit.stats.requests == 0
+
+
+def test_intra_site_roam_of_roamed_out_endpoint_sends_no_new_away(duo):
+    """Regression for ROADMAP race (c): an endpoint that already roamed
+    to a foreign site and then roams *within* that site must not re-send
+    an AwayRegister — the home anchor already points at the foreign
+    border, and the duplicate inflated the transit message metric."""
+    a = duo.create_endpoint("a", "employees", 100)
+    p = duo.create_endpoint("p", "printers", 100)
+    duo.admit(a, 0, 0)
+    duo.admit(p, 0, 1)
+    duo.settle()
+
+    duo.roam(a, 1, 0)   # cross-site: one away announcement
+    duo.settle()
+    border1 = duo.transit_borders[1]
+    away_after_cross = border1.counters.away_announcements_sent
+    assert away_after_cross >= 1
+    assert duo.transit_borders[0].away_count() == 1
+
+    duo.roam(a, 1, 1)   # intra-site roam inside the foreign site
+    duo.settle()
+    # No new away announcement, anchor intact and traffic still flows.
+    assert border1.counters.away_announcements_sent == away_after_cross
+    assert duo.transit_borders[0].away_count() == 1
+    before = a.packets_received
+    duo.send(p, a)
+    duo.settle()
+    assert a.packets_received == before + 1
+
+    duo.roam(a, 0, 0)   # home again: the anchor withdrawal still works
+    duo.settle()
+    assert duo.transit_borders[0].away_count() == 0

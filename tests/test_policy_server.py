@@ -104,3 +104,64 @@ def test_simulated_exchange_over_underlay(small_fabric):
     net.settle()
     assert results == [True]
     assert net.policy_server.auth_accepts >= 1
+
+
+class TestSessionCache:
+    """The auth fast path: RADIUS session resumption."""
+
+    def _request(self, identity="alice", secret="pw"):
+        from repro.policy.server import AccessRequest
+        return AccessRequest(identity, secret, reply_to=None)
+
+    def test_first_auth_is_full_price_then_resumes(self, sim, plan):
+        server = PolicyServer(sim, plan, session_cache=True)
+        server.enroll("alice", "pw", 1, 100)
+        full = server._auth_service_time("alice")
+        assert full >= server.auth_service_s
+        assert server.auth_cache_misses == 1
+        server._answer(self._request())          # successful full auth
+        resumed = server._auth_service_time("alice")
+        assert resumed == server.cached_auth_service_s
+        assert server.auth_cache_hits == 1
+        # Timing changed; the result did not.
+        result = server.authenticate("alice", "pw")
+        assert result.accepted and int(result.group) == 1
+
+    def test_session_expires_after_ttl(self, sim, plan):
+        server = PolicyServer(sim, plan, session_cache=True,
+                              session_cache_ttl_s=30.0)
+        server.enroll("alice", "pw", 1, 100)
+        server._answer(self._request())
+        sim.run(until=29.0)
+        assert server._auth_service_time("alice") == server.cached_auth_service_s
+        sim.run(until=31.0)
+        assert server._auth_service_time("alice") >= server.auth_service_s
+
+    def test_disable_revokes_the_session(self, sim, plan):
+        server = PolicyServer(sim, plan, session_cache=True)
+        server.enroll("alice", "pw", 1, 100)
+        server._answer(self._request())
+        server.disable("alice")
+        assert server._auth_service_time("alice") >= server.auth_service_s
+        assert not server.authenticate("alice", "pw").accepted
+
+    def test_group_move_forces_full_reauth(self, sim, plan):
+        server = PolicyServer(sim, plan, session_cache=True)
+        server.enroll("alice", "pw", 1, 100)
+        server._answer(self._request())
+        server.reassign_group("alice", 2)
+        assert server._auth_service_time("alice") >= server.auth_service_s
+
+    def test_rejected_auth_never_populates_the_cache(self, sim, plan):
+        server = PolicyServer(sim, plan, session_cache=True)
+        server.enroll("alice", "pw", 1, 100)
+        server._answer(self._request(secret="wrong"))
+        assert server._auth_service_time("alice") >= server.auth_service_s
+
+    def test_flag_off_never_counts(self, sim, plan):
+        server = PolicyServer(sim, plan)
+        server.enroll("alice", "pw", 1, 100)
+        server._answer(self._request())
+        server._auth_service_time("alice")
+        assert server.auth_cache_hits == 0
+        assert server.auth_cache_misses == 0

@@ -85,3 +85,53 @@ def test_remove_peer(speaker):
     speaker.remove_peer(_peer(1))
     rule = PolicyRule(GroupId(1), GroupId(5), "allow")
     assert speaker.distribute_rule(rule) == 0
+
+
+class TestBatchedDeltas:
+    """The SXP notification fast path: per-peer delta aggregation."""
+
+    class _Wire:
+        def __init__(self):
+            self.sent = []
+
+        def send(self, src, dst, packet):
+            self.sent.append((dst, packet.payload))
+
+    def _binding(self, n):
+        return SxpBinding(VN, Prefix.parse("10.0.%d.0/24" % n), GroupId(5))
+
+    def test_deltas_within_window_ride_one_message(self, sim):
+        wire = self._Wire()
+        speaker = SxpSpeaker(sim, underlay=wire, rloc=_peer(99),
+                             batching=True, flush_window_s=1e-3)
+        speaker.add_peer(_peer(1), wants_bindings=True)
+        for n in range(3):
+            speaker.publish_binding(self._binding(n))
+        assert wire.sent == []            # window still open
+        sim.run()
+        assert len(wire.sent) == 1
+        dst, message = wire.sent[0]
+        assert dst == _peer(1)
+        assert message.kind == "sxp-batch"
+        assert len(message.updates) == 3
+        # Delta accounting is unchanged; message accounting shows the win.
+        assert speaker.binding_updates_sent == 3
+        assert speaker.batch_messages_sent == 1
+
+    def test_single_delta_skips_the_batch_wrapper(self, sim):
+        wire = self._Wire()
+        speaker = SxpSpeaker(sim, underlay=wire, rloc=_peer(99),
+                             batching=True)
+        speaker.add_peer(_peer(1), wants_bindings=True)
+        speaker.publish_binding(self._binding(0))
+        sim.run()
+        assert len(wire.sent) == 1
+        assert wire.sent[0][1].kind == "sxp-update"
+
+    def test_flag_off_sends_immediately(self, sim):
+        wire = self._Wire()
+        speaker = SxpSpeaker(sim, underlay=wire, rloc=_peer(99))
+        speaker.add_peer(_peer(1), wants_bindings=True)
+        speaker.publish_binding(self._binding(0))
+        assert len(wire.sent) == 1
+        assert speaker.batch_messages_sent == 0
