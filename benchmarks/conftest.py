@@ -12,15 +12,16 @@ use tight pytest-benchmark loops.
 Two pieces of perf-tracking plumbing live here:
 
 * the ``trajectory`` fixture collects machine-readable metrics from the
-  control-plane benches; at session end they are written to
-  ``benchmarks/BENCH_ctrlplane.json`` so CI (and future PRs) can diff
-  sustained roams/s, roam-delay percentiles and map-server msgs/roam
-  against this run instead of eyeballing bench tables;
+  perf benches; at session end they are written to
+  ``benchmarks/BENCH_<file>.json`` (``ctrlplane`` by default, the
+  data-plane benches record under ``dataplane``) so CI (and future PRs)
+  can diff sustained roams/s, forwarded packets/s, delay percentiles
+  and msgs/roam against this run instead of eyeballing bench tables;
 * ``fastpath_flags`` reads ``REPRO_FASTPATH`` so the CI smoke lane can
-  run the storm/signaling benches with the batching/session-cache knobs
-  both off (``REPRO_FASTPATH=0``, the default) and on
-  (``REPRO_FASTPATH=1``) — a regression hiding behind either flag value
-  cannot land silently.
+  run the storm/signaling/dataplane benches with the batching/
+  session-cache/megaflow/packet-train knobs both off
+  (``REPRO_FASTPATH=0``, the default) and on (``REPRO_FASTPATH=1``) —
+  a regression hiding behind any flag value cannot land silently.
 """
 
 import json
@@ -28,7 +29,7 @@ import os
 
 import pytest
 
-#: bench name -> metrics dict, collected by the ``trajectory`` fixture.
+#: file key -> {bench name -> metrics dict}, via the ``trajectory`` fixture.
 _TRAJECTORY = {}
 
 
@@ -55,28 +56,31 @@ def fastpath_enabled():
 
 @pytest.fixture
 def fastpath_flags():
-    """Control-plane fast-path knobs for workload profiles, env-driven."""
+    """Fast-path knobs for workload profiles, env-driven."""
     on = fastpath_enabled()
-    return {"batching": on, "session_cache": on}
+    return {"batching": on, "session_cache": on, "megaflow": on,
+            "packet_trains": on}
 
 
 @pytest.fixture
 def trajectory():
-    """Record a bench's metrics into ``BENCH_ctrlplane.json``."""
-    def _record(name, metrics):
-        _TRAJECTORY[name] = metrics
+    """Record a bench's metrics into ``BENCH_<file>.json``."""
+    def _record(name, metrics, file="ctrlplane"):
+        _TRAJECTORY.setdefault(file, {})[name] = metrics
     return _record
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _TRAJECTORY:
-        return
-    path = os.path.join(os.path.dirname(__file__), "BENCH_ctrlplane.json")
-    payload = {
-        "schema": 1,
-        "fastpath_env": fastpath_enabled(),
-        "benches": _TRAJECTORY,
-    }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    for file_key, benches in _TRAJECTORY.items():
+        if not benches:
+            continue
+        path = os.path.join(os.path.dirname(__file__),
+                            "BENCH_%s.json" % file_key)
+        payload = {
+            "schema": 1,
+            "fastpath_env": fastpath_enabled(),
+            "benches": benches,
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

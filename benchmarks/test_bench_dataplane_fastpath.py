@@ -1,0 +1,163 @@
+"""Data-plane fast path: forwarded packets/s, before vs after.
+
+The ROADMAP's next wall after PR 3 removed the control-plane bottleneck:
+every simulated packet pays a full Patricia-trie resolution, a policy
+walk, fresh header-object allocation, a ``struct.pack`` of the VXLAN-GPO
+header, and its own simulator event.  The fast path removes all of that
+the way production VXLAN data planes do — an OVS-style megaflow cache
+memoizing the complete forwarding decision (resolved RLOC + policy
+verdict + pre-encoded encap template), packet trains carrying a burst as
+one event, and the event engine tuned underneath.
+
+This bench runs the *same* traffic scenario — identical flows, identical
+randomness, identical per-packet-equivalent accounting — with the knobs
+off and on, and asserts the headline acceptance number: >= 5x forwarded
+packets per wall-clock second with bit-identical delivered / dropped /
+policy-enforced counters.  The correctness side lives in
+``tests/property/test_dataplane_fastpath.py`` (megaflow-vs-oracle).
+
+Metrics land in ``benchmarks/BENCH_dataplane.json`` via the
+``trajectory`` fixture.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.sim.rng import SeededRng
+from repro.workloads.traffic import FlowGenerator, PopularityModel
+
+_NUM_EDGES = 8
+_CLIENTS = 40
+_SERVERS = 6
+_IOT = 4            # a denied destination group: policy drops stay exercised
+_FLOW_RATE = 40.0   # flows per client-second
+_PACKETS_PER_FLOW = 16
+_DURATION_S = 4.0
+_VN = 4098
+
+
+class _DataplaneScenario:
+    """A wired fabric under heavy steady flows (no mid-run roams, so the
+    off/on comparison is exact down to every data-plane counter)."""
+
+    def __init__(self, fastpath, seed=31):
+        self.fastpath = fastpath
+        self.net = FabricNetwork(FabricConfig(
+            num_edges=_NUM_EDGES, seed=seed, megaflow=fastpath,
+        ))
+        net = self.net
+        net.define_vn("campus", _VN, "10.64.0.0/14")
+        net.define_group("users", 10, _VN)
+        net.define_group("servers", 30, _VN)
+        net.define_group("iot", 20, _VN)
+        net.allow("users", "servers")
+        net.deny("users", "iot")
+
+        self.clients, self.servers, self.iot = [], [], []
+        for bucket, group, prefix, count in (
+                (self.clients, "users", "cli", _CLIENTS),
+                (self.servers, "servers", "srv", _SERVERS),
+                (self.iot, "iot", "iot", _IOT)):
+            for index in range(count):
+                endpoint = net.create_endpoint("%s-%d" % (prefix, index),
+                                               group, _VN)
+                net.admit(endpoint, index % _NUM_EDGES)
+                bucket.append(endpoint)
+        net.settle()
+
+        rng = SeededRng(seed)
+        self._traffic_rng = rng.spawn("traffic")
+        self._popularity = PopularityModel(
+            self.servers + self.iot, self._traffic_rng, skew=1.1)
+        self._generators = [
+            FlowGenerator(net.sim, endpoint, lambda: _FLOW_RATE,
+                          self._fire, self._traffic_rng,
+                          packets_per_flow=_PACKETS_PER_FLOW)
+            for endpoint in self.clients
+        ]
+
+    def _fire(self, endpoint, count=1):
+        target = self._popularity.pick()
+        self.net.send(endpoint, target.ip, size=600, count=count,
+                      as_train=self.fastpath)
+
+    def run(self):
+        """Run the traffic phase; returns (metrics dict, elapsed wall s)."""
+        net = self.net
+        for generator in self._generators:
+            generator.start()
+        started = time.perf_counter()
+        net.run_for(_DURATION_S)
+        for generator in self._generators:
+            generator.stop()
+        net.settle()
+        elapsed = time.perf_counter() - started
+
+        edges = net.edges
+        forwarded = sum(e.counters.packets_in for e in edges)
+        return {
+            "fastpath": self.fastpath,
+            "elapsed_s": elapsed,
+            "events": net.sim.events_processed,
+            "flows": sum(g.flows_fired for g in self._generators),
+            "forwarded_pkts": forwarded,
+            "forwarded_pkts_per_s": forwarded / max(elapsed, 1e-9),
+            # the correctness ledger (must be identical off vs on):
+            "delivered": sum(ep.packets_received
+                             for ep in self.servers + self.iot + self.clients),
+            "local_deliveries": sum(e.counters.local_deliveries for e in edges),
+            "encapsulated": sum(e.counters.encapsulated for e in edges),
+            "to_border": sum(e.counters.to_border_default for e in edges),
+            "policy_drops": sum(e.counters.policy_drops for e in edges),
+            "acl_hits": sum(e.acl.hits for e in edges),
+            "acl_drops": sum(e.acl.drops for e in edges),
+            "border_relayed": sum(b.counters.relayed_to_edge
+                                  for b in net.borders),
+            "megaflow_hits": sum(e.megaflow.hits for e in edges
+                                 if e.megaflow is not None),
+        }
+
+
+_LEDGER_KEYS = ("delivered", "local_deliveries", "encapsulated", "to_border",
+                "policy_drops", "acl_hits", "acl_drops", "border_relayed")
+
+
+@pytest.mark.figure("dataplane-fastpath")
+def test_dataplane_fastpath_forwarding_speedup(benchmark, report, trajectory):
+    rows_data = benchmark.pedantic(
+        lambda: [_DataplaneScenario(False).run(),
+                 _DataplaneScenario(True).run()],
+        rounds=1, iterations=1,
+    )
+    before, after = rows_data
+    speedup = (after["forwarded_pkts_per_s"]
+               / max(before["forwarded_pkts_per_s"], 1e-9))
+    report(format_table(
+        ["fast path", "fwd pkts", "wall s", "fwd pkts/s", "sim events",
+         "delivered", "policy drops", "megaflow hits"],
+        [["on" if r["fastpath"] else "off",
+          r["forwarded_pkts"],
+          "%.2f" % r["elapsed_s"],
+          "%.0f" % r["forwarded_pkts_per_s"],
+          r["events"],
+          r["delivered"],
+          r["policy_drops"],
+          r["megaflow_hits"]] for r in rows_data],
+        title="Data plane (%d clients x %.0f flows/s x %d pkts/flow, %.0f s):"
+              " fast path off vs on"
+              % (_CLIENTS, _FLOW_RATE, _PACKETS_PER_FLOW, _DURATION_S)))
+    trajectory("dataplane_forwarding", {
+        "before": before, "after": after, "speedup": speedup,
+    }, file="dataplane")
+
+    # Equal correctness first: the fast path must be invisible to every
+    # delivery, drop and enforcement ledger.
+    for key in _LEDGER_KEYS:
+        assert after[key] == before[key], key
+    assert before["megaflow_hits"] == 0
+    assert after["megaflow_hits"] > 0
+    # The acceptance number: the same traffic forwarded >= 5x faster.
+    assert speedup >= 5.0

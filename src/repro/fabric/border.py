@@ -39,9 +39,16 @@ from repro.lisp.messages import (
     control_packet,
 )
 from repro.lisp.records import MappingDatabase
+from repro.net.fastpath import ACT_ENCAP, MegaflowCache, MegaflowEntry
 from repro.net.packet import UdpHeader
 from repro.net.trie import PatriciaTrie
-from repro.net.vxlan import VXLAN_PORT, decapsulate, encapsulate
+from repro.net.vxlan import (
+    VXLAN_PORT,
+    EncapTemplate,
+    decapsulate,
+    encapsulate,
+    flow_entropy_port,
+)
 from repro.policy.acl import GroupAcl
 
 
@@ -71,7 +78,7 @@ class BorderRouter:
     """Pubsub-synced fabric border with external routes."""
 
     def __init__(self, sim, name, rloc, node, underlay, routing_server_rloc,
-                 external_sink=None):
+                 external_sink=None, megaflow=False, megaflow_max_entries=4096):
         self.sim = sim
         self.name = name
         self.rloc = rloc
@@ -85,6 +92,10 @@ class BorderRouter:
         self._external = {}     # vn int -> PatriciaTrie of external prefixes
         self.acl = GroupAcl()
         self.counters = BorderRouterCounters()
+        #: data-plane fast path: memoized relay decisions (synced-FIB
+        #: resolution + encap template) keyed (VN, src group, dst EID);
+        #: flushed on every pub/sub route change.  Off by default.
+        self.megaflow = MegaflowCache(megaflow_max_entries) if megaflow else None
         # -- transit side (populated by connect_transit) --
         self.transit = None           # transit UnderlayNetwork
         self.transit_rloc = None
@@ -94,6 +105,9 @@ class BorderRouter:
         self.transit_cache = None     # MapCache of EID aggregate -> site rloc
         self._transit_pending = {}    # (vn int, eid prefix) -> [thunk(rloc or None)]
         self._away = {}               # (vn int, eid prefix) -> away transit rloc
+        #: (vn int, eid prefix) -> initiated_at of the away state (the
+        #: ordering guard against late cross-transit announcements)
+        self._away_initiated = {}
         underlay.attach(rloc, node, self._on_packet)
 
     def subscribe(self):
@@ -139,23 +153,30 @@ class BorderRouter:
 
         The home border's transit RLOC comes from transit resolution of
         the EID itself (its covering aggregate names the home site), so
-        no side-channel site directory is needed.
+        no side-channel site directory is needed.  The announcement is
+        stamped with *now* — the roam event's time — not with the (much
+        later) time transit resolution lets it leave, which is what the
+        home border's ordering guard compares registrations against.
         """
+        initiated_at = self.sim.now
         def deliver(home_rloc, vn=vn, eid=eid, group=group):
             if home_rloc is None or home_rloc == self.transit_rloc:
                 return
             self.counters.away_announcements_sent += 1
-            self._send_transit(home_rloc, AwayRegister(vn, eid, self.transit_rloc,
-                                                       group=group))
+            self._send_transit(home_rloc, AwayRegister(
+                vn, eid, self.transit_rloc, group=group,
+                initiated_at=initiated_at))
         self._transit_resolve(vn, eid.address, deliver)
 
     def announce_return(self, vn, eid):
         """Tell the EID's home border the endpoint left this site again."""
+        initiated_at = self.sim.now
         def deliver(home_rloc, vn=vn, eid=eid):
             if home_rloc is None or home_rloc == self.transit_rloc:
                 return
             self.counters.away_announcements_sent += 1
-            self._send_transit(home_rloc, AwayUnregister(vn, eid, self.transit_rloc))
+            self._send_transit(home_rloc, AwayUnregister(
+                vn, eid, self.transit_rloc, initiated_at=initiated_at))
         self._transit_resolve(vn, eid.address, deliver)
 
     def away_count(self):
@@ -163,6 +184,7 @@ class BorderRouter:
 
     # -- external routes -----------------------------------------------------------
     def add_external_route(self, vn, prefix, label="internet"):
+        self._mf_flush()
         trie = self._external.get(int(vn))
         if trie is None:
             trie = PatriciaTrie(prefix.family)
@@ -184,22 +206,55 @@ class BorderRouter:
         else:
             self._handle_control(packet.payload)
 
+    def _mf_flush(self):
+        if self.megaflow is not None:
+            self.megaflow.flush()
+
+    def _mf_relay(self, entry, packet, inner):
+        """Replay a cached relay decision (decap already done)."""
+        train = packet.train
+        if inner.ttl <= 1:
+            self.counters.ttl_drops += train
+            return
+        inner.ttl -= 1
+        self.counters.relayed_to_edge += train
+        entry.template.apply(packet)
+        self.underlay.send(self.rloc, entry.rloc, packet)
+
+    def _mf_install_relay(self, key, vn, src_group, inner, rloc):
+        self.megaflow.install(key, MegaflowEntry(
+            ACT_ENCAP, rloc=rloc,
+            template=EncapTemplate(
+                self.rloc, rloc, vn, src_group,
+                src_port=flow_entropy_port(inner.src, inner.dst),
+            ),
+        ))
+
     def _handle_data(self, packet):
-        self.counters.packets_in += 1
+        self.counters.packets_in += packet.train
         vxlan = decapsulate(packet)
         vn, src_group = vxlan.vni, vxlan.group
         inner = packet.inner_ip()
         if inner is None:
-            self.counters.no_route_drops += 1
+            self.counters.no_route_drops += packet.train
             return
         dst = inner.dst
+        key = None
+        if self.megaflow is not None:
+            key = (int(vn), int(src_group), dst)
+            entry = self.megaflow.lookup(key, self.sim.now)
+            if entry is not None:
+                self._mf_relay(entry, packet, inner)
+                return
         record = self.synced.lookup(vn, dst)
         if record is not None and record.rloc != self.rloc:
             if inner.ttl <= 1:
-                self.counters.ttl_drops += 1
+                self.counters.ttl_drops += packet.train
                 return
             inner.ttl -= 1
-            self.counters.relayed_to_edge += 1
+            self.counters.relayed_to_edge += packet.train
+            if key is not None:
+                self._mf_install_relay(key, vn, src_group, inner, record.rloc)
             encapsulate(packet, self.rloc, record.rloc, vn, src_group)
             self.underlay.send(self.rloc, record.rloc, packet)
             return
@@ -211,11 +266,11 @@ class BorderRouter:
             return
         label = self.external_route_for(vn, dst)
         if label is not None:
-            self.counters.sent_external += 1
+            self.counters.sent_external += packet.train
             if self.external_sink is not None:
                 self.external_sink(vn, packet)
             return
-        self.counters.no_route_drops += 1
+        self.counters.no_route_drops += packet.train
 
     def inject_external(self, vn, group, packet):
         """Return traffic entering the fabric from outside (Internet side).
@@ -228,9 +283,9 @@ class BorderRouter:
             raise ConfigurationError("external injection needs an IP packet")
         record = self.synced.lookup(vn, inner.dst)
         if record is None or record.rloc == self.rloc:
-            self.counters.no_route_drops += 1
+            self.counters.no_route_drops += packet.train
             return False
-        self.counters.relayed_to_edge += 1
+        self.counters.relayed_to_edge += packet.train
         encapsulate(packet, self.rloc, record.rloc, vn, group)
         self.underlay.send(self.rloc, record.rloc, packet)
         return True
@@ -252,14 +307,14 @@ class BorderRouter:
             if entry.negative or entry.rloc == self.transit_rloc:
                 # Known-unassigned space, or our own aggregate with no
                 # local registration: unreachable either way.
-                self.counters.transit_drops += 1
+                self.counters.transit_drops += packet.train
                 return
             self._transit_send(entry.rloc, vn, src_group, packet, inner)
             return
 
         def replay(rloc, vn=vn, group=src_group, packet=packet, inner=inner):
             if rloc is None or rloc == self.transit_rloc:
-                self.counters.transit_drops += 1
+                self.counters.transit_drops += packet.train
             else:
                 self._transit_send(rloc, vn, group, packet, inner)
         self._transit_resolve(vn, inner.dst, replay)
@@ -267,10 +322,10 @@ class BorderRouter:
     def _transit_send(self, remote_rloc, vn, group, packet, inner):
         """Re-encapsulate onto the transit, carrying the GPO group tag."""
         if inner.ttl <= 1:
-            self.counters.ttl_drops += 1
+            self.counters.ttl_drops += packet.train
             return
         inner.ttl -= 1
-        self.counters.transit_reencapsulated += 1
+        self.counters.transit_reencapsulated += packet.train
         encapsulate(packet, self.transit_rloc, remote_rloc, vn, group)
         self.transit.send(self.transit_rloc, remote_rloc, packet)
 
@@ -288,20 +343,32 @@ class BorderRouter:
         re-carried on the site leg so the destination edge's egress stage
         enforces the connectivity matrix exactly as for local traffic.
         """
-        self.counters.transit_in += 1
+        self.counters.transit_in += packet.train
         vxlan = decapsulate(packet)
         vn, src_group = vxlan.vni, vxlan.group
         inner = packet.inner_ip()
         if inner is None:
-            self.counters.transit_drops += 1
+            self.counters.transit_drops += packet.train
             return
+        key = None
+        if self.megaflow is not None:
+            # The site-leg relay decision is the same whether the packet
+            # came from an edge or over the transit, so both paths share
+            # one megaflow key space.
+            key = (int(vn), int(src_group), inner.dst)
+            entry = self.megaflow.lookup(key, self.sim.now)
+            if entry is not None:
+                self._mf_relay(entry, packet, inner)
+                return
         record = self.synced.lookup(vn, inner.dst)
         if record is not None and record.rloc != self.rloc:
             if inner.ttl <= 1:
-                self.counters.ttl_drops += 1
+                self.counters.ttl_drops += packet.train
                 return
             inner.ttl -= 1
-            self.counters.relayed_to_edge += 1
+            self.counters.relayed_to_edge += packet.train
+            if key is not None:
+                self._mf_install_relay(key, vn, src_group, inner, record.rloc)
             encapsulate(packet, self.rloc, record.rloc, vn, src_group)
             self.underlay.send(self.rloc, record.rloc, packet)
             return
@@ -310,7 +377,7 @@ class BorderRouter:
         if away is not None and away != self.transit_rloc:
             self._transit_send(away, vn, src_group, packet, inner)
             return
-        self.counters.transit_drops += 1
+        self.counters.transit_drops += packet.train
 
     # -- transit resolution ---------------------------------------------------------------
     def _transit_resolve(self, vn, address, thunk):
@@ -373,9 +440,32 @@ class BorderRouter:
         servers steers intra-site senders (and the pub/sub-synced borders)
         to this border, which hairpins over the transit — per-endpoint
         roaming state stays inside the two sites involved.
+
+        **Ordering guard** (ROADMAP race (a)): an AwayRegister can be
+        delayed by transit resolution long enough for the endpoint to
+        roam *back home* and re-register at a local edge first.  Without
+        a guard the late anchor overwrites that fresher registration and
+        the follow-up AwayUnregister then deletes the record outright —
+        a quick away-and-back roam blackholes the endpoint.  The guard
+        compares the announcement's ``initiated_at`` (stamped when the
+        roam happened, before transit delays) against the pub/sub-synced
+        record: a local registration *newer* than the away event wins,
+        and the stale announcement is dropped.  A second timestamp check
+        discards announcements older than the away state already held.
         """
         self.counters.away_registers_received += 1
-        self._away[(int(message.vn), message.eid)] = message.away_rloc
+        key = (int(message.vn), message.eid)
+        if message.initiated_at is not None:
+            held = self._away_initiated.get(key)
+            if held is not None and message.initiated_at < held:
+                return  # older than the away state we already track
+            current = self.synced.lookup_exact(message.vn, message.eid)
+            if current is not None and current.rloc != self.rloc \
+                    and current.registered_at > message.initiated_at:
+                return  # a fresher home re-registration exists
+            self._away_initiated[key] = message.initiated_at
+        self._away[key] = message.away_rloc
+        self._mf_flush()
         for server_rloc in self._site_register_rlocs:
             register = MapRegister(message.vn, message.eid, self.rloc,
                                    message.group, mobility=True)
@@ -386,10 +476,17 @@ class BorderRouter:
 
     def _handle_away_unregister(self, message):
         self.counters.away_unregisters_received += 1
-        current = self._away.get((int(message.vn), message.eid))
+        key = (int(message.vn), message.eid)
+        current = self._away.get(key)
         if current != message.away_rloc:
             return  # superseded by a move to a third site
-        del self._away[(int(message.vn), message.eid)]
+        if message.initiated_at is not None:
+            held = self._away_initiated.get(key)
+            if held is not None and message.initiated_at < held:
+                return  # stale return announcement lost a race
+        del self._away[key]
+        self._away_initiated.pop(key, None)
+        self._mf_flush()
         for server_rloc in self._site_register_rlocs:
             # Guarded by our own RLOC: a racing home re-attach (the edge's
             # fresh registration) is never torn down.
@@ -409,6 +506,7 @@ class BorderRouter:
     def _handle_control(self, message):
         if message.kind == PublishUpdate.kind:
             self.counters.publishes_received += 1
+            self._mf_flush()
             if message.record is None:
                 self.synced.unregister(message.vn, message.eid)
             else:

@@ -20,6 +20,15 @@ from repro.core.batching import Batcher
 from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.lisp.mapcache import MapCache
+from repro.net.fastpath import (
+    ACT_DROP,
+    ACT_ENCAP,
+    ACT_LOCAL,
+    DIR_EGRESS,
+    DIR_INGRESS,
+    MegaflowCache,
+    MegaflowEntry,
+)
 from repro.lisp.messages import (
     EidRecord,
     MapNotify,
@@ -31,8 +40,15 @@ from repro.lisp.messages import (
     control_packet,
 )
 from repro.net.packet import IpHeader, UdpHeader
-from repro.net.vxlan import VXLAN_PORT, decapsulate, encapsulate
+from repro.net.vxlan import (
+    VXLAN_PORT,
+    EncapTemplate,
+    decapsulate,
+    encapsulate,
+    flow_entropy_port,
+)
 from repro.policy.acl import GroupAcl
+from repro.policy.matrix import PolicyAction
 from repro.policy.server import AccessRequest, AccessResult
 from repro.fabric.vrf import LocalEndpointEntry, VrfTable
 
@@ -85,7 +101,8 @@ class EdgeRouter:
                  register_rlocs=None,
                  map_request_timeout_s=1.0, map_request_retries=2,
                  default_route_to_border=True,
-                 batching=False, register_flush_s=2e-3):
+                 batching=False, register_flush_s=2e-3,
+                 megaflow=False, megaflow_max_entries=4096):
         self.sim = sim
         self.name = name
         self.rloc = rloc
@@ -126,6 +143,12 @@ class EdgeRouter:
         self.batching = batching
         self.register_flush_s = register_flush_s
         self._register_batchers = {}   # server rloc -> Batcher
+        #: data-plane fast path: memoize complete forwarding decisions
+        #: (resolved RLOC + policy verdict + encap template) per
+        #: (VN, src group, dst EID); see :mod:`repro.net.fastpath`.
+        #: Off by default so the per-packet pipeline stays the ablation
+        #: baseline.
+        self.megaflow = MegaflowCache(megaflow_max_entries) if megaflow else None
 
         self.vrf = VrfTable()
         self.map_cache = MapCache(sim, default_ttl=map_cache_ttl, negative_ttl=negative_ttl)
@@ -234,6 +257,7 @@ class EdgeRouter:
         self.vrf.add(entry)
         # Egress enforcement: install the rules for this destination group.
         self.acl.program(result.rules)
+        self._mf_flush()
         self._register_endpoint(endpoint, roaming)
         if on_complete is not None:
             on_complete(endpoint, True)
@@ -249,6 +273,7 @@ class EdgeRouter:
         endpoint.group = result.group
         self.vrf.update_group(endpoint.identity, result.group)
         self.acl.program(result.rules)
+        self._mf_flush()
         if old_group is not None and int(old_group) != int(result.group):
             # The registration's stored group is refreshed too.
             self._register_endpoint(endpoint, roaming=False)
@@ -310,6 +335,7 @@ class EdgeRouter:
         if endpoint.port is not None:
             self._ports.pop(endpoint.port, None)
         self.vrf.remove(endpoint.identity)
+        self._mf_flush()
         if endpoint.edge is self:
             endpoint.edge = None
             endpoint.port = None
@@ -360,8 +386,8 @@ class EdgeRouter:
         if self.rebooting:
             return
         vxlan = decapsulate(packet)
-        self.counters.packets_in += 1
-        self.counters.wireless_in += 1
+        self.counters.packets_in += packet.train
+        self.counters.wireless_in += packet.train
         self._forward_overlay(vxlan.vni, vxlan.group, packet)
 
     def install_wireless_endpoint(self, station, vn, group, rules, port=None):
@@ -378,6 +404,7 @@ class EdgeRouter:
         if existing is not None:
             self.vrf.update_group(station.identity, group)
             self.acl.program(rules)
+            self._mf_flush()
             station.edge = self
             return existing
         entry = LocalEndpointEntry(
@@ -388,6 +415,7 @@ class EdgeRouter:
         self.acl.program(rules)
         for eid in self._endpoint_eids(station):
             self.map_cache.invalidate(vn, eid)
+        self._mf_flush()
         station.edge = self
         self.counters.wireless_installs += 1
         return entry
@@ -395,6 +423,7 @@ class EdgeRouter:
     def remove_wireless_endpoint(self, station):
         """Station left the wireless fabric (WLC-driven disassociation)."""
         removed = self.vrf.remove(station.identity)
+        self._mf_flush()
         if station.edge is self:
             station.edge = None
         return removed
@@ -407,14 +436,65 @@ class EdgeRouter:
         entry = self.vrf.lookup_identity(endpoint.identity)
         if entry is None:
             return  # not onboarded yet; a real switch floods to auth VLAN
-        self.counters.packets_in += 1
+        self.counters.packets_in += packet.train
         self._forward_overlay(entry.vn, entry.group, packet)
+
+    # -- megaflow fast path ----------------------------------------------------------
+    def _mf_flush(self):
+        """A control-plane event happened: forget every cached decision."""
+        if self.megaflow is not None:
+            self.megaflow.flush()
+
+    def _mf_hit_ingress(self, key, entry, packet, train):
+        """Replay a cached ingress decision; False falls to the slow path."""
+        action = entry.action
+        if action == ACT_ENCAP:
+            # Reachability can flip without a message reaching this edge
+            # (sec. 5.1); the slow path checks it per packet, so must we.
+            if not self.underlay.reachable(self.rloc, entry.rloc):
+                self.megaflow.drop(key)
+                return False
+            if entry.acl_key is not None:
+                self.acl.account(entry.acl_key, entry.acl_action, train)
+            entry.template.apply(packet)
+            self.counters.encapsulated += train
+            self.counters.packets_out += train
+            self.underlay.send(self.rloc, entry.rloc, packet)
+            return True
+        if action == ACT_LOCAL:
+            local = entry.local
+            if local.endpoint.edge is not self:
+                # Wireless roam window: the endpoint left but our VRF
+                # entry lingers until the fig. 5 notify.  Same per-packet
+                # re-check the slow path's short-circuit does.
+                self.megaflow.drop(key)
+                return False
+            self.acl.account(entry.acl_key, entry.acl_action, train)
+            if entry.acl_action == PolicyAction.DENY:
+                self.counters.policy_drops += train
+                return True
+            self.counters.local_deliveries += train
+            self.sim.schedule(PORT_DELAY_S, self._deliver, local.endpoint, packet)
+            return True
+        # ACT_DROP: ingress-enforcement deny — the packet never leaves.
+        self.acl.account(entry.acl_key, entry.acl_action, train)
+        self.counters.policy_drops += train
+        self.counters.ingress_policy_drops += train
+        return True
 
     def _forward_overlay(self, vn, src_group, packet):
         inner = packet.inner_ip()
         if inner is None:
             return
         dst = inner.dst
+        train = packet.train
+        mf = self.megaflow
+        key = None
+        if mf is not None:
+            key = (DIR_INGRESS, int(vn), int(src_group), dst)
+            entry = mf.lookup(key, self.sim.now)
+            if entry is not None and self._mf_hit_ingress(key, entry, packet, train):
+                return
 
         # Local destination: short-circuit through the egress stage.
         # A VRF entry whose endpoint already left (a wireless radio gone
@@ -422,6 +502,12 @@ class EdgeRouter:
         # local anymore; fall through to the overlay path instead.
         local = self.vrf.lookup_ip(vn, dst)
         if local is not None and local.endpoint.edge is self:
+            if mf is not None:
+                acl_key, acl_action = self.acl.action_for(src_group, local.group)
+                mf.install(key, MegaflowEntry(
+                    ACT_LOCAL, local=local,
+                    acl_key=acl_key, acl_action=acl_action,
+                ))
             self._egress_deliver(vn, src_group, local, packet)
             return
 
@@ -430,31 +516,60 @@ class EdgeRouter:
             # Ingress enforcement ablation: we know the destination group
             # from the cached record, so policy can be applied here and
             # denied traffic never crosses the underlay.
-            if self.enforcement == ENFORCE_INGRESS and cache_entry.group is not None:
-                if not self.acl.allows(src_group, cache_entry.group):
-                    self.counters.policy_drops += 1
-                    self.counters.ingress_policy_drops += 1
+            ingress_enforced = (self.enforcement == ENFORCE_INGRESS
+                                and cache_entry.group is not None)
+            if ingress_enforced:
+                if not self.acl.allows(src_group, cache_entry.group, train):
+                    self.counters.policy_drops += train
+                    self.counters.ingress_policy_drops += train
+                    if mf is not None:
+                        acl_key, acl_action = self.acl.action_for(
+                            src_group, cache_entry.group)
+                        mf.install(key, MegaflowEntry(
+                            ACT_DROP, acl_key=acl_key, acl_action=acl_action,
+                            expires_at=cache_entry.expires_at,
+                        ))
                     return
             target = cache_entry.rloc
             if self.underlay.reachable(self.rloc, target):
-                self._encap_to(target, vn, src_group, packet,
-                               applied=self.enforcement == ENFORCE_INGRESS)
+                applied = self.enforcement == ENFORCE_INGRESS
+                if mf is not None:
+                    acl_key = acl_action = None
+                    if ingress_enforced:
+                        acl_key, acl_action = self.acl.action_for(
+                            src_group, cache_entry.group)
+                    mf.install(key, MegaflowEntry(
+                        ACT_ENCAP, rloc=target,
+                        template=EncapTemplate(
+                            self.rloc, target, vn, src_group,
+                            policy_applied=applied,
+                            src_port=flow_entropy_port(inner.src, inner.dst),
+                        ),
+                        acl_key=acl_key, acl_action=acl_action,
+                        expires_at=cache_entry.expires_at,
+                    ))
+                self._encap_to(target, vn, src_group, packet, applied=applied)
                 return
             # Sec. 5.1: target RLOC unreachable in the underlay — delete
             # the route and fall back to the border default.
             self.map_cache.invalidate(vn, cache_entry.eid)
+            self._mf_flush()
             self.counters.unreachable_fallbacks += 1
         elif cache_entry is None:
             # Miss: trigger resolution; traffic keeps flowing via border.
             self._resolve(vn, dst)
 
+        # Miss/negative/fallback decisions are deliberately *not*
+        # megaflow-cached: they must keep re-triggering resolution and
+        # re-reading the negative TTL per packet, exactly as the slow
+        # path does.
         if not self.default_route_to_border:
             # Ablation mode: no fallback — the packet is lost while the
             # mapping resolves (the "initial packet loss" of sec. 3.2.2).
-            self.counters.miss_drops += 1
+            self.counters.miss_drops += train
             return
         # Default route to border (covers miss, negative and fallback).
-        self.counters.to_border_default += 1
+        self.counters.to_border_default += train
         self._encap_to(self.border_rloc, vn, src_group, packet, applied=False)
 
     def _resolve(self, vn, dst):
@@ -496,8 +611,8 @@ class EdgeRouter:
         encapsulate(packet, self.rloc, target_rloc, vn, src_group)
         vxlan = packet.headers[2]
         vxlan.policy_applied = applied
-        self.counters.encapsulated += 1
-        self.counters.packets_out += 1
+        self.counters.encapsulated += packet.train
+        self.counters.packets_out += packet.train
         self.underlay.send(self.rloc, target_rloc, packet)
 
     # ------------------------------------------------------------------ egress pipeline
@@ -519,8 +634,37 @@ class EdgeRouter:
             self._handle_l2_frame(vn, src_group, packet, outer_src)
             return
         dst = inner.dst
+        train = packet.train
+        mf = self.megaflow
+        key = None
+        if mf is not None:
+            key = (DIR_EGRESS, int(vn), int(src_group), dst)
+            entry = mf.lookup(key, self.sim.now)
+            if entry is not None:
+                local = entry.local
+                if local.endpoint.edge is self:
+                    # The cached verdict only applies when this edge is
+                    # the enforcement point; an upstream "policy applied"
+                    # bit skips the check exactly like the slow path.
+                    if not vxlan.policy_applied:
+                        self.acl.account(entry.acl_key, entry.acl_action,
+                                         train)
+                        if entry.acl_action == PolicyAction.DENY:
+                            self.counters.policy_drops += train
+                            return
+                    self.counters.local_deliveries += train
+                    self.sim.schedule(PORT_DELAY_S, self._deliver,
+                                      local.endpoint, packet)
+                    return
+                mf.drop(key)
         local = self.vrf.lookup_ip(vn, dst)
         if local is not None and local.endpoint.edge is self:
+            if mf is not None:
+                acl_key, acl_action = self.acl.action_for(src_group, local.group)
+                mf.install(key, MegaflowEntry(
+                    ACT_LOCAL, local=local,
+                    acl_key=acl_key, acl_action=acl_action,
+                ))
             self._egress_deliver(vn, src_group, local, packet,
                                  policy_applied=vxlan.policy_applied)
             return
@@ -528,27 +672,29 @@ class EdgeRouter:
         # with its VRF entry still lingering until the Map-Notify lands,
         # the wireless roam window — or we rebooted and lost our state).
         # Fig. 6: tell the sender to refresh, and forward the packet
-        # towards the new location.
-        self.counters.stale_deliveries += 1
+        # towards the new location.  One SMR per *event* — a train is a
+        # back-to-back burst, and a real edge would collapse its SMRs
+        # exactly the same way.
+        self.counters.stale_deliveries += train
         if outer_src != self.border_rloc:
             self.counters.smr_sent += 1
             self._send_control(outer_src, SolicitMapRequest(vn, dst.to_prefix()))
         if inner.ttl <= 1:
-            self.counters.ttl_drops += 1
+            self.counters.ttl_drops += train
             return
         inner.ttl -= 1
         cache_entry = self.map_cache.lookup(vn, dst)
         if cache_entry is not None and not cache_entry.negative \
                 and cache_entry.rloc != self.rloc \
                 and self.underlay.reachable(self.rloc, cache_entry.rloc):
-            self.counters.reforwarded += 1
+            self.counters.reforwarded += train
             self._encap_to(cache_entry.rloc, vn, src_group, packet)
             return
         # No better information: default route (sec. 5.2's transient loop
         # arises exactly here when the border still points at us).
         if cache_entry is None:
             self._resolve(vn, dst)
-        self.counters.to_border_default += 1
+        self.counters.to_border_default += train
         self._encap_to(self.border_rloc, vn, src_group, packet)
 
     def _handle_l2_frame(self, vn, src_group, packet, outer_src):
@@ -562,11 +708,12 @@ class EdgeRouter:
         The check is skipped only when the VXLAN-GPO "policy applied" bit
         says an upstream device (ingress-enforcement mode) already ran it.
         """
+        train = packet.train
         if not policy_applied:
-            if not self.acl.allows(src_group, local.group):
-                self.counters.policy_drops += 1
+            if not self.acl.allows(src_group, local.group, train):
+                self.counters.policy_drops += train
                 return
-        self.counters.local_deliveries += 1
+        self.counters.local_deliveries += train
         endpoint = local.endpoint
         self.sim.schedule(PORT_DELAY_S, self._deliver, endpoint, packet)
 
@@ -604,6 +751,7 @@ class EdgeRouter:
             del self._pending_resolution[key]
         if reply.is_negative:
             self.map_cache.install_negative(reply.vn, reply.eid, ttl=reply.negative_ttl)
+            self._mf_flush()
             if self.l2_gateway is not None:
                 self.l2_gateway.on_map_reply(reply)
             return
@@ -616,6 +764,7 @@ class EdgeRouter:
             group=record.group, version=record.version, ttl=ttl,
             mac=record.mac,
         )
+        self._mf_flush()
         if self.l2_gateway is not None:
             self.l2_gateway.on_map_reply(reply)
 
@@ -630,6 +779,9 @@ class EdgeRouter:
             self._apply_notify_record(record)
 
     def _apply_notify_record(self, record):
+        # Any notify can move an endpoint we hold decisions for (roam
+        # withdrawal of a local entry, or a map-cache version bump).
+        self._mf_flush()
         # The endpoint may still be in our VRF if the move raced detection.
         entry = self.vrf.lookup_ip(record.vn, record.eid.address)
         if entry is not None and record.rloc != self.rloc:
@@ -651,11 +803,13 @@ class EdgeRouter:
         """Fig. 6 step 4: drop the stale mapping and re-resolve."""
         self.counters.smr_received += 1
         self.map_cache.invalidate(smr.vn, smr.eid)
+        self._mf_flush()
         self._resolve(smr.vn, smr.eid.address)
 
     def _handle_sxp(self, update):
         if update.rule is not None:
             self.acl.program([update.rule])
+            self._mf_flush()
 
     def _send_control(self, dst_rloc, message):
         self.underlay.send(
@@ -668,6 +822,7 @@ class EdgeRouter:
         if reachable or rloc == self.rloc:
             return
         removed = self.map_cache.invalidate_rloc(rloc)
+        self._mf_flush()
         if removed:
             self.counters.unreachable_fallbacks += removed
 
@@ -684,6 +839,7 @@ class EdgeRouter:
             negative_ttl=self.map_cache.negative_ttl,
         )
         self.vrf = VrfTable()
+        self._mf_flush()
         self._pending_resolution = {}
         self._pending_auth = {}
         self._ports = {}

@@ -45,8 +45,8 @@ class Endpoint:
 
     def receive(self, packet, now):
         """Called by the serving edge when a packet is delivered."""
-        self.packets_received += 1
-        self.bytes_received += packet.size
+        self.packets_received += packet.train
+        self.bytes_received += packet.size * packet.train
         self.last_received_at = now
         if self.sink is not None:
             self.sink(self, packet, now)
@@ -55,7 +55,7 @@ class Endpoint:
         """Inject a packet into the fabric through the serving edge."""
         if self.edge is None:
             raise ConfigurationError("endpoint %s is not attached" % self.identity)
-        self.packets_sent += 1
+        self.packets_sent += packet.train
         self.edge.inject_from_endpoint(self, packet)
 
     def __repr__(self):

@@ -46,7 +46,8 @@ class FabricConfig:
                  mac_block=0,
                  batching=False, register_flush_s=2e-3,
                  session_cache=False, session_cache_ttl_s=600.0,
-                 cached_auth_service_s=50e-6):
+                 cached_auth_service_s=50e-6,
+                 megaflow=False, megaflow_max_entries=4096):
         if num_borders < 1:
             raise ConfigurationError("a fabric needs at least one border")
         if num_edges < 1:
@@ -79,6 +80,38 @@ class FabricConfig:
         self.session_cache = session_cache
         self.session_cache_ttl_s = session_cache_ttl_s
         self.cached_auth_service_s = cached_auth_service_s
+        #: data-plane fast path knob (also default off): every edge and
+        #: border memoizes complete forwarding decisions in an OVS-style
+        #: megaflow cache (see :mod:`repro.net.fastpath`).
+        self.megaflow = megaflow
+        self.megaflow_max_entries = megaflow_max_entries
+
+
+def inject_burst(endpoint, dst_ip, size=1500, payload=None, count=1,
+                 as_train=False):
+    """Inject ``count`` identical overlay packets from an endpoint.
+
+    The single injection primitive behind ``FabricNetwork.send`` and
+    ``MultiSiteNetwork.send``: one packet object per packet in baseline
+    mode, or a single packet-train object (``train=count``) when
+    ``as_train`` is on.  Returns the last packet injected.
+    """
+    if endpoint.ip is None:
+        raise ConfigurationError(
+            "endpoint %s not onboarded yet" % endpoint.identity
+        )
+    if as_train and count > 1:
+        packet = make_udp_packet(endpoint.ip, dst_ip, 40000, 40000,
+                                 payload=payload, size=size)
+        packet.train = count
+        endpoint.send(packet)
+        return packet
+    packet = None
+    for _ in range(count):
+        packet = make_udp_packet(endpoint.ip, dst_ip, 40000, 40000,
+                                 payload=payload, size=size)
+        endpoint.send(packet)
+    return packet
 
 
 #: RLOC numbering plan: infra services, borders and edges live in 192.168/16.
@@ -156,6 +189,8 @@ class FabricNetwork:
             border = BorderRouter(
                 self.sim, "border-%d" % i, rloc, self._spines[i],
                 self.underlay, server.rloc,
+                megaflow=cfg.megaflow,
+                megaflow_max_entries=cfg.megaflow_max_entries,
             )
             self.borders.append(border)
 
@@ -178,6 +213,8 @@ class FabricNetwork:
                 register_families=cfg.register_families,
                 batching=cfg.batching,
                 register_flush_s=cfg.register_flush_s,
+                megaflow=cfg.megaflow,
+                megaflow_max_entries=cfg.megaflow_max_entries,
             )
             if cfg.l2_services:
                 L2Gateway(edge)
@@ -300,20 +337,21 @@ class FabricNetwork:
         if endpoint.edge is not None:
             endpoint.edge.detach_endpoint(endpoint, deregister=True)
 
-    def send(self, src_endpoint, dst, size=1500, payload=None):
-        """Inject one overlay packet from an endpoint towards ``dst``.
+    def send(self, src_endpoint, dst, size=1500, payload=None,
+             count=1, as_train=False):
+        """Inject overlay packet(s) from an endpoint towards ``dst``.
 
         ``dst`` may be an Endpoint (uses its overlay IP) or an address.
+        ``count`` sends a burst of identical packets: one packet object
+        per packet when ``as_train`` is off (the baseline), or a single
+        packet-train object carrying ``train=count`` when on — one
+        simulator event standing in for the whole burst, with every
+        counter accounted per packet-equivalent.  Returns the last
+        packet injected.
         """
         dst_ip = dst.ip if isinstance(dst, Endpoint) else dst
-        if src_endpoint.ip is None:
-            raise ConfigurationError(
-                "endpoint %s not onboarded yet" % src_endpoint.identity
-            )
-        packet = make_udp_packet(src_endpoint.ip, dst_ip, 40000, 40000,
-                                 payload=payload, size=size)
-        src_endpoint.send(packet)
-        return packet
+        return inject_burst(src_endpoint, dst_ip, size=size, payload=payload,
+                            count=count, as_train=as_train)
 
     # ------------------------------------------------------------------ policy change plumbing
     def _on_session(self, identity, edge_rloc, group):

@@ -35,7 +35,7 @@ _TOP_KEYS = {"fabric", "vns", "groups", "rules", "endpoints"}
 _FABRIC_KEYS = {
     "num_borders", "num_edges", "num_routing_servers", "enforcement",
     "map_cache_ttl", "negative_ttl", "l2_services", "use_igp",
-    "register_families", "seed",
+    "register_families", "seed", "batching", "session_cache", "megaflow",
 }
 
 

@@ -270,17 +270,24 @@ class AwayRegister(ControlMessage):
     map-server itself never learns per-endpoint state.
     """
 
-    __slots__ = ("vn", "eid", "away_rloc", "group")
+    __slots__ = ("vn", "eid", "away_rloc", "group", "initiated_at")
 
     kind = "away-register"
 
-    def __init__(self, vn, eid, away_rloc, group=None, nonce=None):
+    def __init__(self, vn, eid, away_rloc, group=None, nonce=None,
+                 initiated_at=None):
         super().__init__(nonce)
         self.vn = vn
         self.eid = eid
         #: transit-side RLOC of the border now serving the endpoint
         self.away_rloc = away_rloc
         self.group = group
+        #: simulated time the roam event behind this announcement
+        #: happened (set at announce time, *before* transit resolution
+        #: delays the message).  The home border's ordering guard uses
+        #: it to discard announcements that lost a race against a
+        #: fresher home re-registration; ``None`` disables the guard.
+        self.initiated_at = initiated_at
 
     def __repr__(self):
         return "AwayRegister(vn=%d, %s -> %s)" % (
@@ -295,15 +302,17 @@ class AwayUnregister(ControlMessage):
     registration (guarded, so a racing home re-attach is never undone).
     """
 
-    __slots__ = ("vn", "eid", "away_rloc")
+    __slots__ = ("vn", "eid", "away_rloc", "initiated_at")
 
     kind = "away-unregister"
 
-    def __init__(self, vn, eid, away_rloc, nonce=None):
+    def __init__(self, vn, eid, away_rloc, nonce=None, initiated_at=None):
         super().__init__(nonce)
         self.vn = vn
         self.eid = eid
         self.away_rloc = away_rloc
+        #: see :class:`AwayRegister.initiated_at`
+        self.initiated_at = initiated_at
 
 
 class SubscribeRequest(ControlMessage):

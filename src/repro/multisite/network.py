@@ -51,10 +51,9 @@ from __future__ import annotations
 from repro.core.errors import ConfigurationError
 from repro.core.types import VNId
 from repro.fabric.endpoint import Endpoint
-from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.fabric.network import FabricConfig, FabricNetwork, inject_burst
 from repro.multisite.transit import TransitControlPlane
 from repro.net.addresses import IPv4Address, Prefix
-from repro.net.packet import make_udp_packet
 from repro.sim.simulator import Simulator
 from repro.underlay.network import UnderlayNetwork
 from repro.underlay.topology import Topology
@@ -93,7 +92,8 @@ class MultiSiteConfig:
                  link_delay_s=50e-6, transit_delay_s=2e-3,
                  transit_bandwidth_bps=10e9, transit_jitter_s=20e-6,
                  transit_pending_limit=16,
-                 register_families=("ipv4", "ipv6", "mac"), seed=42):
+                 register_families=("ipv4", "ipv6", "mac"), seed=42,
+                 megaflow=False):
         if num_sites < 1:
             raise ConfigurationError("a multi-site fabric needs at least one site")
         self.num_sites = num_sites
@@ -110,6 +110,9 @@ class MultiSiteConfig:
         self.transit_pending_limit = transit_pending_limit
         self.register_families = tuple(register_families)
         self.seed = seed
+        #: data-plane fast path (megaflow caches on every site's edges
+        #: and borders); default off like every fast-path knob
+        self.megaflow = megaflow
 
     def site_config(self, index):
         return FabricConfig(
@@ -123,6 +126,7 @@ class MultiSiteConfig:
             register_families=self.register_families,
             seed=self.seed + 97 * index,
             mac_block=index,
+            megaflow=self.megaflow,
         )
 
 
@@ -269,29 +273,32 @@ class MultiSiteNetwork:
         return list(self._endpoints.values())
 
     # ------------------------------------------------------------------ runtime verbs
+    def _completion(self, site_index, on_complete):
+        """Completion callback updating the facade's location bookkeeping
+        (attach) or rolling it back (reject) before notifying the caller."""
+        def wrapped(endpoint, accepted):
+            if accepted:
+                self._after_attach(endpoint, site_index)
+            else:
+                self._after_reject(endpoint)
+            if on_complete is not None:
+                on_complete(endpoint, accepted)
+        return wrapped
+
     def admit(self, endpoint, site, edge=0, on_complete=None):
         """Attach an endpoint to an edge of a site and run onboarding."""
         index = self.site_index(site)
-
-        def wrapped(ep, accepted, index=index, on_complete=on_complete):
-            if accepted:
-                self._after_attach(ep, index)
-            if on_complete is not None:
-                on_complete(ep, accepted)
-
-        self.sites[index].admit(endpoint, edge, on_complete=wrapped)
+        self.sites[index].admit(endpoint, edge,
+                                on_complete=self._completion(index, on_complete))
 
     def roam(self, endpoint, site, edge=0, on_complete=None):
         """Move an endpoint to (possibly) another site, keeping its IP."""
         index = self.site_index(site)
         old_index = self._location.get(endpoint.identity)
         if old_index == index:
-            def wrapped(ep, accepted, index=index, on_complete=on_complete):
-                if accepted:
-                    self._after_attach(ep, index)
-                if on_complete is not None:
-                    on_complete(ep, accepted)
-            self.sites[index].roam(endpoint, edge, on_complete=wrapped)
+            self.sites[index].roam(
+                endpoint, edge,
+                on_complete=self._completion(index, on_complete))
             return
         # Cross-site: the new site's registration cannot Map-Notify the
         # old site's edge (separate control planes), so the old site sees
@@ -311,19 +318,31 @@ class MultiSiteNetwork:
                 endpoint.vn, endpoint.ip.to_prefix()
             )
 
-    def send(self, src_endpoint, dst, size=1500, payload=None):
-        """Inject one overlay packet (same contract as FabricNetwork)."""
+    def send(self, src_endpoint, dst, size=1500, payload=None,
+             count=1, as_train=False):
+        """Inject overlay packet(s) (same contract as FabricNetwork)."""
         dst_ip = dst.ip if isinstance(dst, Endpoint) else dst
-        if src_endpoint.ip is None:
-            raise ConfigurationError(
-                "endpoint %s not onboarded yet" % src_endpoint.identity
-            )
-        packet = make_udp_packet(src_endpoint.ip, dst_ip, 40000, 40000,
-                                 payload=payload, size=size)
-        src_endpoint.send(packet)
-        return packet
+        return inject_burst(src_endpoint, dst_ip, size=size, payload=payload,
+                            count=count, as_train=as_train)
 
     # ------------------------------------------------------------------ roaming plumbing
+    def _after_reject(self, endpoint):
+        """Roll back location state after a rejected (re-)attach.
+
+        ROADMAP race (b): a rejected cross-site roam has already
+        deregistered the endpoint from its previous site, so the facade
+        must not keep claiming a location — and if the endpoint was
+        roamed out, the home anchor still hairpins into a site that no
+        longer serves it.  Mirror :meth:`FabricWlc._withdraw`: clear the
+        location, and have the stale foreign border withdraw the anchor.
+        """
+        self._location.pop(endpoint.identity, None)
+        foreign = self._foreign_site.pop(endpoint.identity, None)
+        if foreign is not None and endpoint.ip is not None:
+            self.transit_borders[foreign].announce_return(
+                endpoint.vn, endpoint.ip.to_prefix()
+            )
+
     def _after_attach(self, endpoint, site_index):
         """Post-onboarding bookkeeping: away announce / return announce."""
         self._location[endpoint.identity] = site_index

@@ -1,0 +1,129 @@
+"""The data-plane fast path: an OVS-style megaflow cache.
+
+Production VXLAN data planes do not run the full pipeline for every
+packet: the first packet of a flow takes the slow path (trie resolution,
+policy walk, header construction) and the complete forwarding decision
+is memoized in a flow cache — Open vSwitch calls these *megaflows* —
+that subsequent packets hit with a single table probe.  This module
+reproduces that architecture for the simulated fabric.
+
+A megaflow is keyed on ``(direction, VN, source GroupId, destination
+EID)`` — the tuple that fully determines a forwarding decision in the
+SDA pipeline (fig. 4): the VNI selects the VRF, the source group and the
+destination's group decide policy, and the destination EID resolves the
+RLOC.  The cached entry carries the decision's *outputs*: the action
+kind, the resolved local entry or RLOC, the pre-built
+:class:`~repro.net.vxlan.EncapTemplate`, and the policy verdict (so ACL
+hit/drop ledgers can be replayed per packet-equivalent without
+re-walking the table).
+
+Correctness contract
+--------------------
+The cache is a pure memo: a hit must produce exactly what the slow path
+would.  Three mechanisms enforce that:
+
+* **epoch flush** — the owning router calls :meth:`MegaflowCache.flush`
+  on every event that can change any forwarding decision (map-cache
+  installs from Map-Reply/Map-Notify, SMRs, policy/SXP rule downloads,
+  VRF churn from onboarding/roams/withdrawals, reachability events,
+  pub/sub route publishes, reboots).  Flushing the whole cache on a
+  control-plane event is the OVS revalidation model collapsed to its
+  simplest correct form: control-plane events are rare relative to
+  packets, so the lost hits are noise;
+* **entry TTL** — an entry derived from a map-cache entry inherits its
+  ``expires_at``, so TTL expiry (which the slow path detects lazily
+  during lookup) cannot be outlived by the memo;
+* **liveness re-checks on hit** — local-delivery entries re-verify
+  ``endpoint.edge`` identity and encap entries re-verify underlay
+  reachability, the two conditions the slow path tests per packet that
+  can flip without a control-plane message reaching this router.
+
+Entries are capacity-bounded; overflow flushes the cache (cheap, and
+self-corrects pathological key churn).
+"""
+
+from __future__ import annotations
+
+#: Megaflow action kinds.
+ACT_LOCAL = 0    #: deliver to a locally attached endpoint (egress stage)
+ACT_ENCAP = 1    #: VXLAN-encapsulate to a resolved RLOC via template
+ACT_DROP = 2     #: policy drop decided at this router (ingress mode)
+
+#: Key-space direction tags.
+DIR_INGRESS = 0  #: decision for traffic entering the overlay here
+DIR_EGRESS = 1   #: decision for decapsulated traffic arriving here
+
+
+class MegaflowEntry:
+    """One memoized forwarding decision."""
+
+    __slots__ = ("action", "local", "rloc", "template", "acl_key",
+                 "acl_action", "expires_at")
+
+    def __init__(self, action, local=None, rloc=None, template=None,
+                 acl_key=None, acl_action=None, expires_at=None):
+        self.action = action
+        #: the VRF LocalEndpointEntry for ACT_LOCAL
+        self.local = local
+        #: target RLOC for ACT_ENCAP
+        self.rloc = rloc
+        #: EncapTemplate for ACT_ENCAP
+        self.template = template
+        #: (src group int, dst group int) pair the verdict was taken on
+        self.acl_key = acl_key
+        #: PolicyAction this key resolved to when the entry was built
+        self.acl_action = acl_action
+        #: inherited map-cache expiry (None = no TTL applies)
+        self.expires_at = expires_at
+
+    def __repr__(self):
+        kind = {ACT_LOCAL: "local", ACT_ENCAP: "encap", ACT_DROP: "drop"}
+        return "MegaflowEntry(%s)" % kind.get(self.action, self.action)
+
+
+class MegaflowCache:
+    """Bounded decision memo with epoch-flush invalidation."""
+
+    __slots__ = ("max_entries", "hits", "misses", "flushes", "_entries")
+
+    def __init__(self, max_entries=4096):
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self._entries = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def lookup(self, key, now):
+        """Return the live entry for ``key`` or ``None`` (counts stats)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires = entry.expires_at
+        if expires is not None and expires <= now:
+            # The underlying map-cache entry aged out; the slow path
+            # must re-detect the expiry (it deletes the trie entry).
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def install(self, key, entry):
+        if len(self._entries) >= self.max_entries:
+            self.flush()
+        self._entries[key] = entry
+        return entry
+
+    def drop(self, key):
+        """Forget one entry (a hit-time liveness re-check failed)."""
+        self._entries.pop(key, None)
+
+    def flush(self):
+        """Invalidate everything (a control-plane event happened)."""
+        if self._entries:
+            self._entries.clear()
+        self.flushes += 1

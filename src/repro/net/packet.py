@@ -105,15 +105,24 @@ class Packet:
     ``meta`` is a scratch dict for instrumentation (e.g. send timestamps
     for handover-delay measurement); fabric code never makes forwarding
     decisions from it.
+
+    ``train`` is the packet-train multiplier: a single packet object can
+    stand in for ``train`` back-to-back packets of the same flow (one
+    simulator event instead of N).  Every counter and byte ledger on the
+    forwarding path accounts ``train`` packet-equivalents, so a train of
+     16 and 16 individual packets produce identical statistics.  The
+    default of 1 keeps single packets exactly as before.
     """
 
-    __slots__ = ("headers", "payload", "size", "meta")
+    __slots__ = ("headers", "payload", "size", "meta", "train")
 
-    def __init__(self, headers=None, payload=None, size=1500, meta=None):
+    def __init__(self, headers=None, payload=None, size=1500, meta=None,
+                 train=1):
         self.headers = list(headers) if headers else []
         self.payload = payload
         self.size = size
         self.meta = meta if meta is not None else {}
+        self.train = train
 
     # -- header stack ----------------------------------------------------------
     def push(self, header):
@@ -162,6 +171,7 @@ class Packet:
             payload=self.payload,
             size=self.size,
             meta=dict(self.meta),
+            train=self.train,
         )
         return clone
 

@@ -154,6 +154,49 @@ def encapsulate(packet, outer_src, outer_dst, vni, group, src_port=None):
     return packet
 
 
+class EncapTemplate:
+    """A pre-built outer header stack for one forwarding decision.
+
+    The data-plane fast path memoizes, per megaflow, everything
+    :func:`encapsulate` would rebuild for every packet: the outer
+    :class:`~repro.net.packet.IpHeader`, the UDP header, the
+    :class:`VxlanGpoHeader` — and the header's **8 wire bytes**, packed
+    once at install time.  The byte layout stays real (it is re-encoded
+    through the same :meth:`VxlanGpoHeader.encode` the slow path would
+    use; sec. 3.3/fig. 2 is still reproduced bit for bit), it is just no
+    longer re-packed per packet.
+
+    The header objects are shared by every packet the template
+    encapsulates, which is safe because nothing on the forwarding path
+    mutates outer headers after encapsulation (the ``policy_applied``
+    bit is baked in at template-build time, and TTL work happens on the
+    *inner* header).  The UDP source port — flow entropy in the slow
+    path — is frozen from the flow that installed the megaflow; the
+    analytic underlay never reads it, so freezing it is observationally
+    equivalent.
+    """
+
+    __slots__ = ("outer_src", "outer_dst", "vxlan", "encoded", "_stack")
+
+    def __init__(self, outer_src, outer_dst, vni, group,
+                 policy_applied=False, src_port=0xC000):
+        self.outer_src = outer_src
+        self.outer_dst = outer_dst
+        self.vxlan = VxlanGpoHeader(vni, group, policy_applied=policy_applied)
+        self.encoded = self.vxlan.encode()
+        self._stack = (
+            IpHeader(outer_src, outer_dst, proto=IPPROTO_UDP),
+            UdpHeader(src_port, VXLAN_PORT),
+            self.vxlan,
+        )
+
+    def apply(self, packet):
+        """Encapsulate ``packet`` with the cached stack (one list splice)."""
+        packet.headers[:0] = self._stack
+        packet.size += ENCAP_OVERHEAD
+        return packet
+
+
 def decapsulate(packet):
     """Strip outer IP/UDP/VXLAN-GPO headers; returns the GPO header.
 

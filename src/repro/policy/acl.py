@@ -55,8 +55,15 @@ class GroupAcl:
             self._versions.pop(key, None)
         return len(victims)
 
-    def evaluate(self, src_group, dst_group):
-        """Resolve and count the action for a packet's group pair."""
+    def action_for(self, src_group, dst_group):
+        """Resolve the action for a group pair **without** counting it.
+
+        The pure half of :meth:`evaluate`.  The data-plane fast path uses
+        it to bake a megaflow's policy verdict at install time; the
+        ledger side is replayed per packet(-equivalent) via
+        :meth:`account`, so fig. 12's hit/drop permille is identical
+        whether packets took the slow path or a cached decision.
+        """
         key = (int(src_group), int(dst_group))
         action = self._rules.get(key)
         if action is None:
@@ -64,14 +71,28 @@ class GroupAcl:
                 action = PolicyAction.ALLOW
             else:
                 action = self.default_action
-        self.hits += 1
-        self.rule_hits[key] = self.rule_hits.get(key, 0) + 1
+        return key, action
+
+    def account(self, key, action, count=1):
+        """Charge ``count`` packet-equivalents of a resolved verdict."""
+        self.hits += count
+        self.rule_hits[key] = self.rule_hits.get(key, 0) + count
         if action == PolicyAction.DENY:
-            self.drops += 1
+            self.drops += count
+
+    def evaluate(self, src_group, dst_group, count=1):
+        """Resolve and count the action for a packet's group pair.
+
+        ``count`` charges the ledger for a whole packet train in one
+        call — equivalent to ``count`` separate evaluations of the same
+        pair.
+        """
+        key, action = self.action_for(src_group, dst_group)
+        self.account(key, action, count)
         return action
 
-    def allows(self, src_group, dst_group):
-        return self.evaluate(src_group, dst_group) == PolicyAction.ALLOW
+    def allows(self, src_group, dst_group, count=1):
+        return self.evaluate(src_group, dst_group, count) == PolicyAction.ALLOW
 
     @property
     def drop_permille(self):

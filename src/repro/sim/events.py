@@ -50,7 +50,20 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Cancelled events are removed lazily on pop, but the queue does not
+    let tombstones accumulate: when dead entries outnumber live ones
+    (past a small floor), the heap is compacted in one linear pass.
+    Long-running workloads that cancel at scale — every stopped flow
+    generator, every superseded timer — would otherwise keep pushing
+    dead weight through every sift.
+    """
+
+    #: below this many tombstones, compaction costs more than it saves
+    COMPACT_FLOOR = 64
+
+    __slots__ = ("_heap", "_counter", "_live")
 
     def __init__(self):
         self._heap = []
@@ -91,6 +104,24 @@ class EventQueue:
         if not event.cancelled:
             event.cancel()
             self._live -= 1
+            dead = len(self._heap) - self._live
+            if dead > self.COMPACT_FLOOR and dead > self._live:
+                self.compact()
+
+    def compact(self):
+        """Rebuild the heap without tombstones (stable: order unchanged).
+
+        Heapify over ``(time, seq)``-ordered events reproduces exactly
+        the pop order lazy deletion would have produced — sequence
+        numbers are unique, so the ordering is total.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+
+    @property
+    def tombstones(self):
+        """Dead entries currently buried in the heap (introspection)."""
+        return len(self._heap) - self._live
 
     def peek_time(self):
         """Return the time of the earliest live event, or ``None``."""

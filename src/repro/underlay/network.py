@@ -181,21 +181,23 @@ class UnderlayNetwork:
         if src is None:
             raise ConfigurationError("send from unattached RLOC %s" % from_rloc)
         if dst is None or not dst.announced:
-            self.dropped_packets += 1
+            self.dropped_packets += packet.train
             return False
         path = self._paths().get((src.node, dst.node))
         if path is None:
             path = self._compute_path(src.node, dst.node)
             self._paths()[(src.node, dst.node)] = path
         if path is None:
-            self.dropped_packets += 1
+            self.dropped_packets += packet.train
             return False
         delay, hops = path
         # Serialization on each hop, modelled once at the narrowest assumption
-        # (uniform link speeds in our canned topologies).
+        # (uniform link speeds in our canned topologies).  A packet train
+        # serializes all of its packet-equivalents back to back, so the
+        # single delivery event lands when the burst's last byte would.
         serialization = 0.0
         if hops:
-            serialization = hops * (packet.size * 8.0 / 10e9)
+            serialization = hops * (packet.size * packet.train * 8.0 / 10e9)
         total = processing_delay_s + delay + serialization
         if self.extra_delay_jitter_s:
             total += self._rng.uniform(0, self.extra_delay_jitter_s)
@@ -207,8 +209,8 @@ class UnderlayNetwork:
         # or gone silent while the packet was in flight.
         live = self._attachments.get(attachment.rloc)
         if live is None:
-            self.dropped_packets += 1
+            self.dropped_packets += packet.train
             return
-        self.delivered_packets += 1
-        self.bytes_delivered += packet.size
+        self.delivered_packets += packet.train
+        self.bytes_delivered += packet.size * packet.train
         live.deliver(packet)

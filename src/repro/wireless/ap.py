@@ -106,7 +106,7 @@ class FabricAp:
         which forwards it over the radio — the same one-hop cost the
         upstream direction pays, so the data-plane accounting is
         symmetric."""
-        self.counters.packets_delivered += 1
+        self.counters.packets_delivered += packet.train
         self.sim.schedule(self.uplink_delay_s, self._radio_deliver,
                           station, packet)
 
@@ -119,11 +119,11 @@ class FabricAp:
         if self.stations.get(station.identity) is not station:
             return  # raced a roam-away
         if station.vn is None or station.group is None:
-            self.counters.not_onboarded_drops += 1
+            self.counters.not_onboarded_drops += packet.train
             return
         encapsulate(packet, self.address, self.edge.rloc,
                     station.vn, station.group)
-        self.counters.packets_encapsulated += 1
+        self.counters.packets_encapsulated += packet.train
         self.sim.schedule(self.uplink_delay_s, self.edge.receive_from_ap, packet)
 
     def __repr__(self):

@@ -35,7 +35,7 @@ class Station(Endpoint):
             raise ConfigurationError(
                 "station %s is not associated" % self.identity
             )
-        self.packets_sent += 1
+        self.packets_sent += packet.train
         self.ap.inject_from_station(self, packet)
 
     def receive(self, packet, now):

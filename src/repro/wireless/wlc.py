@@ -205,20 +205,31 @@ class FabricWlc:
                 result.vn, station.identity
             )
         prev_edge = previous_ap.edge if previous_ap is not None else None
+        # The edge the routing server will itself notify (fig. 5 step 2)
+        # is the previously *registered* one — not the radio-previous
+        # edge, which can lag behind when an association is superseded
+        # before its registration ever happened (A->B->C where B's auth
+        # lost the race: the server still has A on record, so C's
+        # register notifies A, and B must ride the stale-edge relay).
+        registered_prev = self._registered_edge.get(station.identity)
         ap.edge.install_wireless_endpoint(
             station, result.vn, result.group, result.rules
         )
         self._registered_edge[station.identity] = ap.edge
-        mobility = prev_edge is not None and prev_edge is not ap.edge
-        # Roam-chain hygiene: edges older than the immediately previous
-        # one (which the routing server notifies itself, fig. 5 step 2)
-        # get the authoritative record relayed once the server acks.
+        mobility = registered_prev is not None and registered_prev is not ap.edge
+        # Roam-chain hygiene: every edge the radio or the registration
+        # pipeline ever touched — minus the current one and the one the
+        # server notifies itself — gets the authoritative record relayed
+        # once the server acks.
         visited = self._visited_edges.setdefault(station.identity, set())
+        if prev_edge is not None:
+            visited.add(prev_edge.rloc)
+        if registered_prev is not None:
+            visited.add(registered_prev.rloc)
         stale = set(visited)
         stale.discard(ap.edge.rloc)
-        if prev_edge is not None:
-            stale.discard(prev_edge.rloc)
-            visited.add(prev_edge.rloc)
+        if registered_prev is not None:
+            stale.discard(registered_prev.rloc)
         self._register_station(station, ap.edge.rloc, mobility, stale, t0)
         if on_complete is not None:
             on_complete(station, True)

@@ -104,7 +104,8 @@ class CampusWorkload:
     def __init__(self, profile, seed=1, time_scale=1.0,
                  day_flow_interval_s=900.0, night_flow_interval_s=7200.0,
                  iot_flow_interval_s=3600.0, server_fraction=None,
-                 roams_per_user_day=0.5, sample_interval_h=1.0):
+                 roams_per_user_day=0.5, sample_interval_h=1.0,
+                 megaflow=False, packet_trains=False, packets_per_flow=1):
         if time_scale <= 0:
             raise ConfigurationError("time_scale must be positive")
         self.profile = profile
@@ -120,6 +121,12 @@ class CampusWorkload:
         )
         self.roams_per_user_day = roams_per_user_day
         self.sample_interval_s = sample_interval_h * self.hour_s
+        #: data-plane fast path knobs (default off; the FIB dynamics the
+        #: fig. 9 study measures are identical either way — the property
+        #: test holds the workload to that)
+        self.megaflow = megaflow
+        self.packet_trains = packet_trains
+        self.packets_per_flow = packets_per_flow
 
         self.rng = SeededRng(seed)
         self._presence_rng = self.rng.spawn("presence")
@@ -132,6 +139,7 @@ class CampusWorkload:
             map_cache_ttl=profile.cache_ttl_h * HOUR_S / time_scale,
             negative_ttl=60.0 / time_scale,
             seed=seed,
+            megaflow=megaflow,
         ))
         self._build_population()
 
@@ -263,7 +271,7 @@ class CampusWorkload:
     def _iot_rate(self):
         return self.iot_rate
 
-    def _fire_flow(self, endpoint):
+    def _fire_flow(self, endpoint, count=1):
         if not endpoint.attached or not endpoint.onboarded:
             return
         if self._traffic_rng.random() < self.server_fraction:
@@ -275,7 +283,8 @@ class CampusWorkload:
             target = self._traffic_rng.choice(peers)
         if target is endpoint or target.ip is None:
             return
-        self.fabric.send(endpoint, target.ip, size=600)
+        self.fabric.send(endpoint, target.ip, size=600, count=count,
+                         as_train=self.packet_trains)
 
     def _install_flow_generators(self):
         sim = self.fabric.sim
@@ -283,11 +292,13 @@ class CampusWorkload:
             self._flow_generators[endpoint.identity] = FlowGenerator(
                 sim, endpoint, self._user_rate, self._fire_flow,
                 self._traffic_rng,
+                packets_per_flow=self.packets_per_flow,
             )
         for endpoint in self.iot:
             self._flow_generators[endpoint.identity] = FlowGenerator(
                 sim, endpoint, self._iot_rate, self._fire_flow,
                 self._traffic_rng,
+                packets_per_flow=self.packets_per_flow,
             )
 
     # ------------------------------------------------------------------ sampling

@@ -34,15 +34,27 @@ class FlowGenerator:
     The loop self-schedules while ``active``; the owner toggles activity
     on attach/detach.  ``fire(endpoint)`` is supplied by the workload and
     performs one flow (destination choice + packet injection).
+
+    ``packets_per_flow`` models each flow as a burst of that many
+    packets: the tick then calls ``fire(endpoint, packets_per_flow)``
+    and the workload decides whether to inject them one packet object at
+    a time (the baseline) or as a single packet train (the data-plane
+    fast path) — the destination is picked once per flow either way, so
+    the two modes consume identical randomness.  With the default of 1
+    the legacy single-argument ``fire(endpoint)`` contract is kept.
     """
 
-    def __init__(self, sim, endpoint, rate_fn, fire, rng):
+    def __init__(self, sim, endpoint, rate_fn, fire, rng,
+                 packets_per_flow=1):
         """``rate_fn() -> flows per second right now`` (diurnal rates)."""
+        if packets_per_flow < 1:
+            raise ConfigurationError("packets_per_flow must be >= 1")
         self.sim = sim
         self.endpoint = endpoint
         self.rate_fn = rate_fn
         self.fire = fire
         self.rng = rng
+        self.packets_per_flow = packets_per_flow
         self.active = False
         self._event = None
         self.flows_fired = 0
@@ -76,6 +88,9 @@ class FlowGenerator:
         if not self.active:
             return
         self.flows_fired += 1
-        self.fire(self.endpoint)
+        if self.packets_per_flow == 1:
+            self.fire(self.endpoint)
+        else:
+            self.fire(self.endpoint, self.packets_per_flow)
         if self.active:
             self._schedule_next()

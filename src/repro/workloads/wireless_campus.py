@@ -35,7 +35,8 @@ class WirelessCampusProfile:
                  stations=40, servers=4, dwell_mean_s=60.0,
                  flow_interval_s=5.0, zipf_skew=1.1, wlc_service_s=150e-6,
                  batching=False, register_flush_s=2e-3,
-                 session_cache=False, session_cache_ttl_s=600.0):
+                 session_cache=False, session_cache_ttl_s=600.0,
+                 megaflow=False, packet_trains=False, packets_per_flow=1):
         if stations < 1:
             raise ConfigurationError("a wireless campus needs stations")
         self.name = name
@@ -54,6 +55,13 @@ class WirelessCampusProfile:
         self.register_flush_s = register_flush_s
         self.session_cache = session_cache
         self.session_cache_ttl_s = session_cache_ttl_s
+        #: data-plane fast path knobs (the dataplane bench toggles
+        #: these): megaflow caches on edges/borders/APs, and each flow
+        #: injected as one ``packets_per_flow``-packet train instead of
+        #: ``packets_per_flow`` separate packet events
+        self.megaflow = megaflow
+        self.packet_trains = packet_trains
+        self.packets_per_flow = packets_per_flow
 
     @property
     def num_aps(self):
@@ -78,6 +86,7 @@ class WirelessCampusWorkload:
             register_flush_s=profile.register_flush_s,
             session_cache=profile.session_cache,
             session_cache_ttl_s=profile.session_cache_ttl_s,
+            megaflow=profile.megaflow,
         ))
         self.wireless = WirelessFabric(self.fabric, WirelessConfig(
             aps_per_edge=profile.aps_per_edge,
@@ -142,17 +151,19 @@ class WirelessCampusWorkload:
             self._generators[station.identity] = FlowGenerator(
                 self.fabric.sim, station, lambda: rate, self._fire_flow,
                 self._traffic_rng,
+                packets_per_flow=self.profile.packets_per_flow,
             )
             if station.associated and station.onboarded:
                 self._generators[station.identity].start()
 
-    def _fire_flow(self, station):
+    def _fire_flow(self, station, count=1):
         if not station.associated or not station.onboarded:
             return
         target = self._popularity.pick()
         if target.ip is None:
             return
-        self.fabric.send(station, target.ip, size=600)
+        self.fabric.send(station, target.ip, size=600, count=count,
+                         as_train=self.profile.packet_trains)
 
     # ------------------------------------------------------------------ mobility
     def _other_ap(self, station):

@@ -1,0 +1,255 @@
+"""Unit tests for the data-plane fast path primitives and their wiring.
+
+The system-level equivalence claims live in
+``tests/property/test_dataplane_fastpath.py``; these tests pin the
+behaviour of each piece — megaflow cache, encap template, train-aware
+ACL accounting, train injection, invalidation hooks — in isolation.
+"""
+
+import pytest
+
+from repro.experiments.drops import VPN_PROFILE, run_device
+from repro.fabric.network import FabricConfig, FabricNetwork
+from repro.net.addresses import IPv4Address
+from repro.net.fastpath import (
+    ACT_ENCAP,
+    ACT_LOCAL,
+    MegaflowCache,
+    MegaflowEntry,
+)
+from repro.net.packet import Packet, make_udp_packet
+from repro.net.vxlan import (
+    EncapTemplate,
+    VxlanGpoHeader,
+    decapsulate,
+    encapsulate,
+)
+from repro.policy.acl import GroupAcl
+from repro.policy.matrix import PolicyAction, PolicyRule
+
+
+VN = 4098
+
+
+class TestMegaflowCache:
+    def test_install_lookup_and_stats(self):
+        cache = MegaflowCache()
+        key = (0, VN, 10, "10.0.0.1")
+        assert cache.lookup(key, now=0.0) is None
+        entry = cache.install(key, MegaflowEntry(ACT_LOCAL))
+        assert cache.lookup(key, now=0.0) is entry
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_entry_ttl_expires_with_the_map_cache_entry(self):
+        cache = MegaflowCache()
+        key = (0, VN, 10, "10.0.0.1")
+        cache.install(key, MegaflowEntry(ACT_ENCAP, expires_at=5.0))
+        assert cache.lookup(key, now=4.9) is not None
+        assert cache.lookup(key, now=5.0) is None
+        assert len(cache) == 0   # expired entries are deleted, not kept
+
+    def test_flush_and_drop(self):
+        cache = MegaflowCache()
+        cache.install("a", MegaflowEntry(ACT_LOCAL))
+        cache.install("b", MegaflowEntry(ACT_LOCAL))
+        cache.drop("a")
+        assert len(cache) == 1
+        cache.flush()
+        assert len(cache) == 0 and cache.flushes == 1
+
+    def test_capacity_overflow_flushes(self):
+        cache = MegaflowCache(max_entries=4)
+        for index in range(4):
+            cache.install(index, MegaflowEntry(ACT_LOCAL))
+        cache.install(99, MegaflowEntry(ACT_LOCAL))
+        assert cache.flushes == 1 and len(cache) == 1
+
+
+class TestEncapTemplate:
+    def test_matches_slow_path_encapsulation(self):
+        src = IPv4Address.parse("192.168.0.1")
+        dst = IPv4Address.parse("192.168.0.2")
+        slow = make_udp_packet(IPv4Address.parse("10.0.0.1"),
+                               IPv4Address.parse("10.0.0.2"), 40000, 40000,
+                               size=600)
+        fast = slow.copy()
+        encapsulate(slow, src, dst, VN, 10)
+        template = EncapTemplate(src, dst, VN, 10,
+                                 src_port=slow.headers[1].src_port)
+        template.apply(fast)
+        assert fast.size == slow.size
+        assert fast.headers[0].src == slow.headers[0].src
+        assert fast.headers[0].dst == slow.headers[0].dst
+        assert fast.headers[1].src_port == slow.headers[1].src_port
+        assert fast.headers[2] == slow.headers[2]
+        # The 8 wire bytes are cached but real: identical to a fresh pack.
+        assert template.encoded == slow.headers[2].encode()
+        assert len(template.encoded) == VxlanGpoHeader.WIRE_SIZE
+        # And a template-encapsulated packet decapsulates like any other.
+        vxlan = decapsulate(fast)
+        assert int(vxlan.vni) == VN and int(vxlan.group) == 10
+        assert fast.size == 600
+
+    def test_policy_applied_is_baked_in(self):
+        src = IPv4Address.parse("192.168.0.1")
+        dst = IPv4Address.parse("192.168.0.2")
+        template = EncapTemplate(src, dst, VN, 10, policy_applied=True)
+        packet = make_udp_packet(IPv4Address.parse("10.0.0.1"),
+                                 IPv4Address.parse("10.0.0.2"), 1, 2)
+        template.apply(packet)
+        assert decapsulate(packet).policy_applied is True
+
+    def test_header_objects_are_shared_across_packets(self):
+        template = EncapTemplate(IPv4Address.parse("192.168.0.1"),
+                                 IPv4Address.parse("192.168.0.2"), VN, 10)
+        a = make_udp_packet(IPv4Address.parse("10.0.0.1"),
+                            IPv4Address.parse("10.0.0.2"), 1, 2)
+        b = a.copy()
+        template.apply(a)
+        template.apply(b)
+        assert a.headers[2] is b.headers[2]   # no per-packet allocation
+
+
+class TestAclAccounting:
+    def _acl(self):
+        acl = GroupAcl()
+        acl.program([PolicyRule(10, 30, PolicyAction.ALLOW),
+                     PolicyRule(10, 20, PolicyAction.DENY)])
+        return acl
+
+    def test_action_for_is_pure(self):
+        acl = self._acl()
+        key, action = acl.action_for(10, 20)
+        assert key == (10, 20) and action == PolicyAction.DENY
+        assert acl.hits == 0 and acl.drops == 0
+
+    def test_evaluate_count_equals_repeated_evaluations(self):
+        one = self._acl()
+        for _ in range(7):
+            one.evaluate(10, 20)
+            one.evaluate(10, 30)
+        batched = self._acl()
+        batched.evaluate(10, 20, count=7)
+        batched.evaluate(10, 30, count=7)
+        assert (one.hits, one.drops, one.rule_hits) == \
+               (batched.hits, batched.drops, batched.rule_hits)
+        assert one.drop_permille == batched.drop_permille
+
+    def test_account_replays_a_cached_verdict(self):
+        acl = self._acl()
+        key, action = acl.action_for(10, 20)
+        acl.account(key, action, count=3)
+        assert acl.hits == 3 and acl.drops == 3
+
+
+class TestPacketTrains:
+    def test_default_train_is_one_and_copy_preserves_it(self):
+        packet = Packet(size=600)
+        assert packet.train == 1
+        packet.train = 16
+        assert packet.copy().train == 16
+
+    def test_drops_workload_coalesced_retries_identical_ledger(self):
+        baseline = run_device(VPN_PROFILE, days=1, seed=3)
+        coalesced = run_device(VPN_PROFILE, days=1, seed=3,
+                               coalesce_retries=True)
+        assert coalesced == baseline
+
+
+def _small_fabric(**cfg):
+    net = FabricNetwork(FabricConfig(num_edges=3, seed=5, **cfg))
+    net.define_vn("corp", VN, "10.1.0.0/16")
+    net.define_group("users", 10, VN)
+    net.define_group("servers", 30, VN)
+    net.allow("users", "servers")
+    a = net.create_endpoint("a", "users", VN)
+    b = net.create_endpoint("b", "servers", VN)
+    net.admit(a, 0)
+    net.admit(b, 1)
+    net.settle()
+    return net, a, b
+
+
+class TestTrainInjection:
+    def test_train_and_loop_account_identically(self):
+        loop_net, a1, b1 = _small_fabric()
+        train_net, a2, b2 = _small_fabric()
+        loop_net.send(a1, b1, size=600, count=10, as_train=False)
+        train_net.send(a2, b2, size=600, count=10, as_train=True)
+        loop_net.settle()
+        train_net.settle()
+        assert b1.packets_received == b2.packets_received == 10
+        assert b1.bytes_received == b2.bytes_received
+        for loop_edge, train_edge in zip(loop_net.edges, train_net.edges):
+            loop_counts = loop_edge.counters.as_dict()
+            train_counts = train_edge.counters.as_dict()
+            for key in ("packets_in", "packets_out", "encapsulated",
+                        "local_deliveries", "to_border_default"):
+                assert train_counts[key] == loop_counts[key]
+
+    def test_train_uses_fewer_events(self):
+        loop_net, a1, b1 = _small_fabric()
+        train_net, a2, b2 = _small_fabric()
+        base_loop = loop_net.sim.events_processed
+        base_train = train_net.sim.events_processed
+        loop_net.send(a1, b1, size=600, count=16, as_train=False)
+        train_net.send(a2, b2, size=600, count=16, as_train=True)
+        loop_net.settle()
+        train_net.settle()
+        loop_events = loop_net.sim.events_processed - base_loop
+        train_events = train_net.sim.events_processed - base_train
+        assert b1.packets_received == b2.packets_received == 16
+        assert train_events * 4 < loop_events
+
+
+class TestMegaflowWiring:
+    def test_hits_accumulate_and_survive_delivery(self):
+        net, a, b = _small_fabric(megaflow=True)
+        for _ in range(5):
+            net.send(a, b, size=600)
+            net.settle()
+        edge = net.edges[0]
+        assert edge.megaflow is not None and edge.megaflow.hits > 0
+        assert b.packets_received == 5
+
+    def test_roam_invalidates_cached_decisions(self):
+        net, a, b = _small_fabric(megaflow=True)
+        for _ in range(3):
+            net.send(a, b, size=600)
+            net.settle()
+        delivered_before = b.packets_received
+        net.roam(b, 2)
+        net.settle()
+        net.send(a, b, size=600)
+        net.settle()
+        # The packet reached b at its *new* edge, not a stale cached RLOC.
+        assert b.packets_received == delivered_before + 1
+        assert b.edge is net.edges[2]
+
+    def test_policy_update_invalidates_cached_verdict(self):
+        net, a, b = _small_fabric(megaflow=True)
+        net.send(a, b, size=600)
+        net.settle()
+        delivered = b.packets_received
+        net.deny("users", "servers")
+        net.settle()
+        net.send(a, b, size=600)
+        net.settle()
+        assert b.packets_received == delivered   # dropped under new policy
+        assert net.total_policy_drops() >= 1
+
+    def test_megaflow_off_by_default(self):
+        net, _a, _b = _small_fabric()
+        assert all(edge.megaflow is None for edge in net.edges)
+        assert all(border.megaflow is None for border in net.borders)
+
+    def test_megaflow_ttl_expiry_forces_reresolution(self):
+        net, a, b = _small_fabric(megaflow=True, map_cache_ttl=0.5)
+        net.send(a, b, size=600)
+        net.settle()
+        requests = net.edges[0].counters.map_requests_sent
+        net.run_for(1.0)   # outlive the mapping TTL
+        net.send(a, b, size=600)
+        net.settle()
+        assert b.packets_received == 2
+        assert net.edges[0].counters.map_requests_sent > requests

@@ -206,3 +206,79 @@ def test_intra_site_roam_of_roamed_out_endpoint_sends_no_new_away(duo):
     duo.roam(a, 0, 0)   # home again: the anchor withdrawal still works
     duo.settle()
     assert duo.transit_borders[0].away_count() == 0
+
+
+def test_quick_away_and_back_roam_does_not_blackhole(duo):
+    """Regression for ROADMAP race (a): an AwayRegister delayed behind
+    transit resolution must not overwrite the fresher registration of an
+    endpoint that already roamed back home — previously the late anchor
+    install clobbered the home record and the follow-up AwayUnregister
+    then deleted it, blackholing the endpoint."""
+    a = duo.create_endpoint("a", "employees", 100)
+    p = duo.create_endpoint("p", "printers", 100)
+    duo.admit(a, 0, 0)
+    duo.admit(p, 0, 1)
+    duo.settle()
+
+    # Roam to site 1 and back the instant the foreign attach completes —
+    # while its AwayRegister is still stuck behind transit resolution.
+    duo.roam(a, 1, 0, on_complete=lambda ep, ok: duo.roam(ep, 0, 0))
+    duo.settle(max_time=120.0)
+
+    # The endpoint is home: its host record points at the home edge,
+    record = duo.sites[0].routing_server.database.lookup_exact(
+        100, a.ip.to_prefix())
+    assert record is not None
+    assert record.rloc == duo.sites[0].edges[0].rloc
+    # no anchor state lingers,
+    assert duo.transit_borders[0].away_count() == 0
+    # and traffic still reaches it.
+    before = a.packets_received
+    duo.send(p, a)
+    duo.settle()
+    assert a.packets_received == before + 1
+
+
+def test_rejected_cross_site_roam_rolls_back_location_state():
+    """Regression for ROADMAP race (b): a rejected cross-site roam must
+    roll back the facade's location/foreign-site bookkeeping and retract
+    the home anchor, mirroring FabricWlc._withdraw — previously the
+    anchor kept hairpinning into a site that no longer served the
+    endpoint and the facade still claimed the old location."""
+    net = MultiSiteNetwork(MultiSiteConfig(num_sites=3, edges_per_site=2,
+                                           seed=11))
+    net.define_vn("corp", 100, "10.8.0.0/16")
+    net.define_group("employees", 1, 100)
+    net.define_group("printers", 2, 100)
+    net.allow("employees", "printers")
+    a = net.create_endpoint("a", "employees", 100)
+    p = net.create_endpoint("p", "printers", 100)
+    net.admit(a, 0, 0)
+    net.admit(p, 0, 1)
+    net.settle()
+
+    net.roam(a, 1, 0)
+    net.settle()
+    assert net.transit_borders[0].away_count() == 1
+
+    # Site 2 rejects the roam (credentials disabled there only).
+    net.sites[2].policy_server.disable("a")
+    outcome = []
+    net.roam(a, 2, 0, on_complete=lambda ep, ok: outcome.append(ok))
+    net.settle()
+    assert outcome == [False]
+
+    # The facade no longer claims a location, the home anchor pointing
+    # at site 1 was withdrawn, and no stale host record survives.
+    assert net.site_of_endpoint(a) is None
+    assert net.transit_borders[0].away_count() == 0
+    assert net.sites[0].routing_server.database.lookup_exact(
+        100, a.ip.to_prefix()) is None
+
+    # A clean re-admission at home works end to end afterwards.
+    net.admit(a, 0, 0)
+    net.settle()
+    before = a.packets_received
+    net.send(p, a)
+    net.settle()
+    assert a.packets_received == before + 1

@@ -81,3 +81,40 @@ def test_bool_reflects_liveness():
     assert queue
     queue.cancel(event)
     assert not queue
+
+
+def test_cancel_storm_compacts_tombstones():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(1000)]
+    for event in events[:900]:
+        queue.cancel(event)
+    # Lazy deletion alone would leave 900 dead entries buried in the
+    # heap; compaction keeps tombstones bounded by the live population.
+    assert len(queue) == 100
+    assert queue.tombstones <= max(EventQueue.COMPACT_FLOOR, len(queue))
+
+
+def test_compaction_preserves_pop_order():
+    queue = EventQueue()
+    events = [queue.push(float(i % 7), lambda: None) for i in range(300)]
+    expected = sorted(
+        ((e.time, e.seq) for i, e in enumerate(events) if i % 3 != 0)
+    )
+    for index, event in enumerate(events):
+        if index % 3 == 0:
+            queue.cancel(event)
+    popped = []
+    while queue:
+        event = queue.pop()
+        popped.append((event.time, event.seq))
+    assert popped == expected
+
+
+def test_compact_below_floor_is_harmless():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    dead = queue.push(2.0, lambda: None)
+    queue.cancel(dead)
+    queue.compact()
+    assert len(queue) == 1 and queue.tombstones == 0
+    assert queue.pop() is keep

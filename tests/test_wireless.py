@@ -304,3 +304,28 @@ def test_station_cannot_send_unassociated(wifi):
                              IPv4Address.parse("10.0.0.2"), 1, 2)
     with pytest.raises(ConfigurationError):
         sta.send(packet)
+
+
+def test_superseded_roam_chain_still_refreshes_skipped_edge(wifi):
+    """Regression: A->B->A->C where the second visit to A is superseded
+    mid-flight (never registered).  The server's fig. 5 notify then goes
+    to the previously *registered* edge (B's), not to the radio-previous
+    edge (A's) — so A's edge must ride the WLC's stale-edge relay or its
+    cache keeps pointing at B's edge forever."""
+    net, wireless = wifi
+    station = wireless.create_station("sta-chain", "stations", VN)
+    # APs 0/1 -> edge 0, 2/3 -> edge 1, 4/5 -> edge 2.
+    _associate_and_settle(net, wireless, station, 4)   # edge 2
+    _associate_and_settle(net, wireless, station, 0)   # edge 0
+    wireless.associate(station, 4)   # back to edge 2 ...
+    wireless.associate(station, 2)   # ... immediately superseded: edge 1
+    net.settle(max_time=120.0)
+
+    serving_edge = wireless.aps[2].edge
+    record = net.routing_server.database.lookup(VN, station.ip)
+    assert record is not None and record.rloc == serving_edge.rloc
+    for edge in net.edges:
+        cached = edge.map_cache.lookup(VN, station.ip)
+        if edge is not serving_edge and cached is not None \
+                and not cached.negative:
+            assert cached.rloc == serving_edge.rloc
