@@ -1,0 +1,184 @@
+"""Bench-trajectory regression gate.
+
+Each perf bench appends one row per pytest session to its
+``benchmarks/BENCH_*.json`` file (see ``conftest.py``); the committed
+files carry the trajectory across PRs.  This script groups each file's
+rows by their ``REPRO_FASTPATH`` setting, compares every group's newest
+row against that group's previous row, and fails (exit 1) when a gated
+metric regressed by more than the tolerance (default 25%) — so both the
+flags-off and the flags-on session of one CI run are gated.
+
+Gated metrics are chosen to be machine-independent so the gate is
+meaningful when the previous row came from different hardware:
+
+* ``speedup`` values (higher is better) — wall-clock ratios measured
+  within one session, so the hardware cancels out;
+* simulated-time delay percentiles, keys ending ``_p50_s`` / ``_p99_s``
+  (lower is better) — fully deterministic for a fixed seed;
+* ``mapserver_msgs_per_roam`` (lower is better) — a signaling-cost
+  ratio.
+
+Raw wall-clock rates (``*_per_s``, ``elapsed_s``) are reported but only
+gated with ``--wallclock`` (useful when both rows come from the same
+runner class).  Benches present in only one row are skipped: a new
+bench has no history, and a removed one has no current value.
+
+Usage::
+
+    python benchmarks/check_trajectory.py [--tolerance 0.25] [--wallclock]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: metric-key suffixes gated by default: (suffix, higher_is_better)
+GATED_SUFFIXES = (
+    ("speedup", True),
+    ("_p50_s", False),
+    ("_p99_s", False),
+    ("mapserver_msgs_per_roam", False),
+)
+
+#: additionally gated with --wallclock (higher is better)
+WALLCLOCK_SUFFIXES = ("_per_s",)
+
+
+def _leaves(metrics, prefix=""):
+    """Flatten nested bench metrics into ``{dotted.path: number}``."""
+    flat = {}
+    for key, value in metrics.items():
+        path = "%s.%s" % (prefix, key) if prefix else key
+        if isinstance(value, dict):
+            flat.update(_leaves(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[path] = float(value)
+    return flat
+
+
+def _gated(path, wallclock):
+    """(higher_is_better,) for a gated metric path, else None."""
+    for suffix, higher in GATED_SUFFIXES:
+        if path.endswith(suffix):
+            return higher
+    if wallclock:
+        for suffix in WALLCLOCK_SUFFIXES:
+            if path.endswith(suffix):
+                return True
+    return None
+
+
+def compare_rows(previous, newest, tolerance=0.25, wallclock=False):
+    """Regressions of ``newest`` vs ``previous``; empty list = pass.
+
+    Each entry is ``(metric_path, previous_value, newest_value)``.
+    Metrics missing from either row are skipped.
+    """
+    regressions = []
+    prev_benches = previous.get("benches", {})
+    new_benches = newest.get("benches", {})
+    for bench, new_metrics in sorted(new_benches.items()):
+        prev_metrics = prev_benches.get(bench)
+        if prev_metrics is None:
+            continue
+        old = _leaves(prev_metrics, bench)
+        new = _leaves(new_metrics, bench)
+        for path, new_value in sorted(new.items()):
+            higher = _gated(path, wallclock)
+            if higher is None or path not in old:
+                continue
+            old_value = old[path]
+            if old_value <= 0:
+                continue
+            if higher and new_value < old_value * (1.0 - tolerance):
+                regressions.append((path, old_value, new_value))
+            elif not higher and new_value > old_value * (1.0 + tolerance):
+                regressions.append((path, old_value, new_value))
+    return regressions
+
+
+def check_file(path, tolerance=0.25, wallclock=False, out=sys.stdout):
+    """Gate one BENCH file; returns the list of regressions.
+
+    Rows are grouped by ``fastpath_env`` and the newest row of *each*
+    group is compared against that group's previous row — the CI smoke
+    lane appends an off-row and then an on-row in one run, and both
+    must be gated (the off-row is never the file's last row there).
+    """
+    name = os.path.basename(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") == 1:
+        rows = [payload]
+    else:
+        rows = payload.get("rows", [])
+    groups = {}
+    for row in rows:
+        groups.setdefault(row.get("fastpath_env"), []).append(row)
+    regressions = []
+    for env, env_rows in sorted(groups.items(), key=lambda item: str(item[0])):
+        if len(env_rows) < 2:
+            out.write(
+                "%s [env=%s]: %d row(s), nothing to compare\n"
+                % (name, env, len(env_rows))
+            )
+            continue
+        found = compare_rows(
+            env_rows[-2],
+            env_rows[-1],
+            tolerance=tolerance,
+            wallclock=wallclock,
+        )
+        if found:
+            out.write("%s [env=%s]: REGRESSED\n" % (name, env))
+            for metric, old_value, new_value in found:
+                delta = 100.0 * (new_value / old_value - 1.0)
+                out.write(
+                    "  %s: %.6g -> %.6g (%+.1f%%)\n"
+                    % (metric, old_value, new_value, delta)
+                )
+        else:
+            out.write("%s [env=%s]: ok (newest row within tolerance)\n" % (name, env))
+        regressions.extend(found)
+    if not rows:
+        out.write("%s: 0 row(s), nothing to compare\n" % name)
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="BENCH_*.json files (default: all next to this script)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="also gate raw wall-clock *_per_s rates",
+    )
+    args = parser.parse_args(argv)
+    here = os.path.dirname(os.path.abspath(__file__))
+    paths = args.paths or sorted(glob.glob(os.path.join(here, "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json files found")
+        return 0
+    failed = False
+    for path in paths:
+        if check_file(path, tolerance=args.tolerance, wallclock=args.wallclock):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

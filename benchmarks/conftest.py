@@ -12,11 +12,14 @@ use tight pytest-benchmark loops.
 Two pieces of perf-tracking plumbing live here:
 
 * the ``trajectory`` fixture collects machine-readable metrics from the
-  perf benches; at session end they are written to
-  ``benchmarks/BENCH_<file>.json`` (``ctrlplane`` by default, the
-  data-plane benches record under ``dataplane``) so CI (and future PRs)
-  can diff sustained roams/s, forwarded packets/s, delay percentiles
-  and msgs/roam against this run instead of eyeballing bench tables;
+  perf benches; at session end a new **row** is appended to
+  ``benchmarks/BENCH_<file>.json`` (``ctrlplane`` by default; the
+  data-plane benches record under ``dataplane``, the inter-site roaming
+  bench under ``intersite``).  Each row is one session's metrics plus
+  the fast-path env setting; the committed files therefore carry the
+  perf trajectory across PRs, and ``benchmarks/check_trajectory.py``
+  gates CI on the newest row not regressing against the previous
+  same-env row (legacy schema-1 files are migrated to a first row);
 * ``fastpath_flags`` reads ``REPRO_FASTPATH`` so the CI smoke lane can
   run the storm/signaling/dataplane benches with the batching/
   session-cache/megaflow/packet-train knobs both off
@@ -31,6 +34,9 @@ import pytest
 
 #: file key -> {bench name -> metrics dict}, via the ``trajectory`` fixture.
 _TRAJECTORY = {}
+
+#: rows kept per BENCH file (oldest rows rotate out).
+_MAX_ROWS = 40
 
 
 def pytest_configure(config):
@@ -70,16 +76,37 @@ def trajectory():
     return _record
 
 
+def _load_rows(path):
+    """Existing trajectory rows (schema-1 files become the first row)."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if existing.get("schema") == 1:
+        return [{
+            "fastpath_env": existing.get("fastpath_env", False),
+            "benches": existing.get("benches", {}),
+        }]
+    return list(existing.get("rows", []))
+
+
 def pytest_sessionfinish(session, exitstatus):
     for file_key, benches in _TRAJECTORY.items():
         if not benches:
             continue
         path = os.path.join(os.path.dirname(__file__),
                             "BENCH_%s.json" % file_key)
-        payload = {
-            "schema": 1,
+        rows = _load_rows(path)
+        rows.append({
             "fastpath_env": fastpath_enabled(),
             "benches": benches,
+        })
+        payload = {
+            "schema": 2,
+            "rows": rows[-_MAX_ROWS:],
         }
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -117,8 +117,14 @@ class WlanController:
         ) if batching else None
         self._aps = []
         self._client_ap = {}   # overlay ip -> AccessPointTunnel
+        # -- anchor/foreign controller roaming (multi-WLC deployments) --
+        self._peers = []       # other controllers (see connect_anchor)
+        self._home = set()     # ips anchored at this controller
+        self._anchor_out = {}  # ip -> foreign controller now serving it
         self.packets_processed = 0
+        self.packets_anchor_tunneled = 0
         self.handovers_processed = 0
+        self.anchor_moves = 0
         self.handover_batches = 0
         underlay.attach(rloc, node, self._on_packet)
 
@@ -129,11 +135,38 @@ class WlanController:
     def register_ap(self, ap):
         self._aps.append(ap)
 
+    def connect_anchor(self, peer):
+        """Peer two controllers for anchor/foreign roaming (sec. 2 style).
+
+        The centralized answer to inter-site mobility: a client keeps its
+        anchor at the controller that first served it; roaming to an AP
+        of another controller installs an *anchor tunnel* — the anchor
+        keeps receiving the client's traffic and hairpins it to the
+        foreign controller, which hands it to the AP.  Both controller
+        queues now sit on the data path, and the anchor update itself
+        queues behind the anchor's data backlog — the compounding the
+        inter-site handover experiment measures against the fabric's
+        control-plane-only roam.
+        """
+        if peer is self or peer in self._peers:
+            raise ConfigurationError("bad anchor peering")
+        self._peers.append(peer)
+        peer._peers.append(self)
+
+    def _find_home(self, ip):
+        """The controller anchoring ``ip`` (``None`` while unclaimed)."""
+        if ip in self._home:
+            return self
+        for peer in self._peers:
+            if ip in peer._home:
+                return peer
+        return None
+
     def register_client(self, ip, ap):
         """Client association; handover work happens on the controller CPU."""
         previous = self._client_ap.get(ip)
         self._handover(self._apply_association, ip, ap)
-        if previous is not None:
+        if previous is not None or self._find_home(ip) is not None:
             self.handovers_processed += 1
 
     def unregister_client(self, ip, ap):
@@ -153,10 +186,42 @@ class WlanController:
 
     def _apply_association(self, ip, ap):
         self._client_ap[ip] = ap
+        home = self._find_home(ip)
+        if home is None:
+            # First association anywhere: this controller is the anchor.
+            self._home.add(ip)
+        elif home is self:
+            # Back on an anchor-owned AP: tear the anchor tunnel down.
+            self._anchor_out.pop(ip, None)
+        else:
+            # Foreign association: the *anchor* must update its tunnel
+            # table, and that update rides the anchor's own (possibly
+            # data-saturated) CPU queue — traffic keeps flowing to the
+            # old attachment until it is applied.
+            home._handover(home._apply_anchor_away, ip, self)
+
+    def _apply_anchor_away(self, ip, foreign):
+        self.anchor_moves += 1
+        self._anchor_out[ip] = foreign
+
+    def _apply_anchor_drop(self, ip, foreign):
+        # Guarded: a racing re-association at a third controller wins.
+        if self._anchor_out.get(ip) is foreign:
+            del self._anchor_out[ip]
 
     def _apply_disassociation(self, ip, ap):
         if self._client_ap.get(ip) is ap:
             del self._client_ap[ip]
+        # A roamed-out client detaching at its *foreign* controller must
+        # tear the anchor tunnel down too, or the anchor keeps
+        # hairpinning into a controller that no longer serves the client
+        # — and the peer-route fallback would bounce those packets
+        # between the two controllers forever (there is no TTL on the
+        # tunnel path).  The teardown rides the anchor's CPU queue like
+        # any other handover update.
+        home = self._find_home(ip)
+        if home is not None and home is not self:
+            home._handover(home._apply_anchor_drop, ip, self)
 
     # -- the bottleneck queue ---------------------------------------------------------
     def _queue(self, service, fn, *args):
@@ -171,9 +236,23 @@ class WlanController:
         if inner is None:
             return
         ap = self._client_ap.get(inner.dst)
-        if ap is None:
-            return  # client gone: dropped at the controller
-        self.underlay.send(self.rloc, ap.rloc, packet)
+        if ap is not None:
+            self.underlay.send(self.rloc, ap.rloc, packet)
+            return
+        foreign = self._anchor_out.get(inner.dst)
+        if foreign is not None:
+            # Anchor tunnel: hairpin to the foreign controller, which
+            # queues the packet again before its AP sees it.
+            self.packets_anchor_tunneled += 1
+            self.underlay.send(self.rloc, foreign.rloc, packet)
+            return
+        for peer in self._peers:
+            # Inter-controller L3: destinations owned by a peer (its own
+            # clients, or clients it anchors elsewhere) route via it.
+            if inner.dst in peer._client_ap or inner.dst in peer._anchor_out:
+                self.underlay.send(self.rloc, peer.rloc, packet)
+                return
+        # Client gone everywhere: dropped at the controller.
 
     @property
     def client_count(self):

@@ -19,7 +19,7 @@ from repro.lisp.messages import MapRegister, MapRequest
 from repro.lisp.records import MappingRecord
 from repro.net.addresses import IPv4Address, Prefix
 from repro.sim.simulator import Simulator
-from repro.stats.summaries import boxplot, relative_to_min
+from repro.stats.summaries import boxplot
 
 VN = VNId(1)
 GROUP = GroupId(1)

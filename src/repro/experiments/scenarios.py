@@ -76,7 +76,6 @@ def build_and_check(profile, seed=5):
 
     workload = CampusWorkload(profile, seed=seed, time_scale=24.0)
     fabric = workload.fabric
-    results = []
     for endpoint in (workload.desktops + workload.iot + workload.servers
                      + workload.mobile):
         workload._admit_home(endpoint)

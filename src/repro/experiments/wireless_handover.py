@@ -46,9 +46,14 @@ _PAIRS = 8
 _MONITOR_INTERVAL_S = 1e-3
 
 
-def _roam_rotation(sim, recorder, station, move, targets, interval_s,
-                   duration_s):
-    """Schedule the monitored station bouncing between two attachments."""
+def roam_rotation(sim, recorder, station, move, targets, interval_s,
+                  duration_s):
+    """Schedule the monitored station bouncing between two attachments.
+
+    Shared with the inter-site handover experiment, whose two
+    attachments live in different *sites* (fabric) or behind different
+    *controllers* (CAPWAP anchor baseline).
+    """
     t = interval_s
     side = 0   # targets[0] is the away AP; the station starts on targets[1]
     roams = 0
@@ -115,7 +120,7 @@ def _measure_fabric(rate_pps, duration_s, roam_interval_s, seed):
     # The monitored station bounces between its home AP and an AP on a
     # *different* edge (plan row 0: APs 1 and 3 — distinct edges since
     # aps_per_edge=1).
-    roams = _roam_rotation(
+    roams = roam_rotation(
         sim, clock, dests[0],
         lambda station, ap: wireless.roam(station, ap),
         targets=(wireless.aps[3], wireless.aps[plan.pairs[0][2]]),
@@ -181,7 +186,7 @@ def _measure_capwap(rate_pps, duration_s, roam_interval_s, seed):
         station.ap.detach_station(station)
         target_ap.attach_station(station)
 
-    roams = _roam_rotation(
+    roams = roam_rotation(
         sim, clock, dests[0], capwap_move,
         targets=(aps[3], aps[plan.pairs[0][2]]),
         interval_s=roam_interval_s, duration_s=duration_s,

@@ -148,7 +148,7 @@ class BorderRouter:
         register = MapRegister(vn, prefix, self.transit_rloc, group=None)
         self._send_transit(self.transit_map_server_rloc, register)
 
-    def announce_away(self, vn, eid, group=None):
+    def announce_away(self, vn, eid, group=None, mac=None):
         """Tell the EID's home border the endpoint now lives in this site.
 
         The home border's transit RLOC comes from transit resolution of
@@ -157,14 +157,18 @@ class BorderRouter:
         stamped with *now* — the roam event's time — not with the (much
         later) time transit resolution lets it leave, which is what the
         home border's ordering guard compares registrations against.
+        ``mac`` rides along so the home anchor's registration keeps the
+        IP-to-MAC binding the routing server's ARP service answers from
+        (wireless stations roam with their MAC; losing the binding for
+        the whole away period would be a silent regression).
         """
         initiated_at = self.sim.now
-        def deliver(home_rloc, vn=vn, eid=eid, group=group):
+        def deliver(home_rloc, vn=vn, eid=eid, group=group, mac=mac):
             if home_rloc is None or home_rloc == self.transit_rloc:
                 return
             self.counters.away_announcements_sent += 1
             self._send_transit(home_rloc, AwayRegister(
-                vn, eid, self.transit_rloc, group=group,
+                vn, eid, self.transit_rloc, group=group, mac=mac,
                 initiated_at=initiated_at))
         self._transit_resolve(vn, eid.address, deliver)
 
@@ -468,7 +472,8 @@ class BorderRouter:
         self._mf_flush()
         for server_rloc in self._site_register_rlocs:
             register = MapRegister(message.vn, message.eid, self.rloc,
-                                   message.group, mobility=True)
+                                   message.group, mac=message.mac,
+                                   mobility=True)
             self.underlay.send(
                 self.rloc, server_rloc,
                 control_packet(self.rloc, server_rloc, register),

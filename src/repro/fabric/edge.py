@@ -39,7 +39,7 @@ from repro.lisp.messages import (
     SolicitMapRequest,
     control_packet,
 )
-from repro.net.packet import IpHeader, UdpHeader
+from repro.net.packet import UdpHeader
 from repro.net.vxlan import (
     VXLAN_PORT,
     EncapTemplate,

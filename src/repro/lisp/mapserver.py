@@ -33,7 +33,6 @@ from repro.lisp.messages import (
     MapRequest,
     MapUnregister,
     PublishUpdate,
-    SolicitMapRequest,
     SubscribeRequest,
     control_packet,
 )

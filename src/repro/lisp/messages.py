@@ -270,11 +270,11 @@ class AwayRegister(ControlMessage):
     map-server itself never learns per-endpoint state.
     """
 
-    __slots__ = ("vn", "eid", "away_rloc", "group", "initiated_at")
+    __slots__ = ("vn", "eid", "away_rloc", "group", "mac", "initiated_at")
 
     kind = "away-register"
 
-    def __init__(self, vn, eid, away_rloc, group=None, nonce=None,
+    def __init__(self, vn, eid, away_rloc, group=None, mac=None, nonce=None,
                  initiated_at=None):
         super().__init__(nonce)
         self.vn = vn
@@ -282,6 +282,10 @@ class AwayRegister(ControlMessage):
         #: transit-side RLOC of the border now serving the endpoint
         self.away_rloc = away_rloc
         self.group = group
+        #: owner MAC of the roamed endpoint: the home anchor re-registers
+        #: the EID with it so the routing server's ARP service keeps
+        #: answering while the endpoint is away
+        self.mac = mac
         #: simulated time the roam event behind this announcement
         #: happened (set at announce time, *before* transit resolution
         #: delays the message).  The home border's ordering guard uses

@@ -49,7 +49,6 @@ Design decisions (documented per the deployment-experience spirit):
 from __future__ import annotations
 
 from repro.core.errors import ConfigurationError
-from repro.core.types import VNId
 from repro.fabric.endpoint import Endpoint
 from repro.fabric.network import FabricConfig, FabricNetwork, inject_burst
 from repro.multisite.transit import TransitControlPlane
@@ -93,7 +92,8 @@ class MultiSiteConfig:
                  transit_bandwidth_bps=10e9, transit_jitter_s=20e-6,
                  transit_pending_limit=16,
                  register_families=("ipv4", "ipv6", "mac"), seed=42,
-                 megaflow=False):
+                 megaflow=False, batching=False, register_flush_s=2e-3,
+                 session_cache=False, session_cache_ttl_s=600.0):
         if num_sites < 1:
             raise ConfigurationError("a multi-site fabric needs at least one site")
         self.num_sites = num_sites
@@ -113,6 +113,13 @@ class MultiSiteConfig:
         #: data-plane fast path (megaflow caches on every site's edges
         #: and borders); default off like every fast-path knob
         self.megaflow = megaflow
+        #: control-plane fast path knobs, replicated into every site
+        #: (batched registrations + RADIUS session resumption) — same
+        #: defaults-off contract as :class:`FabricConfig`
+        self.batching = batching
+        self.register_flush_s = register_flush_s
+        self.session_cache = session_cache
+        self.session_cache_ttl_s = session_cache_ttl_s
 
     def site_config(self, index):
         return FabricConfig(
@@ -127,6 +134,10 @@ class MultiSiteConfig:
             seed=self.seed + 97 * index,
             mac_block=index,
             megaflow=self.megaflow,
+            batching=self.batching,
+            register_flush_s=self.register_flush_s,
+            session_cache=self.session_cache,
+            session_cache_ttl_s=self.session_cache_ttl_s,
         )
 
 
@@ -200,6 +211,21 @@ class MultiSiteNetwork:
         index = self._location.get(endpoint.identity)
         return None if index is None else self.sites[index]
 
+    def location_index(self, endpoint):
+        """Index of the site currently hosting ``endpoint`` (or ``None``).
+
+        The facade's own bookkeeping — updated when onboarding completes,
+        not when the radio/port moves — which is exactly what cross-site
+        handoff orchestration (wired roam and
+        :class:`repro.wireless.deployment.MultiSiteWireless`) needs.
+        """
+        return self._location.get(endpoint.identity)
+
+    def foreign_site_index(self, endpoint):
+        """Index of the foreign site an endpoint roamed out to (``None``
+        when it is home or detached)."""
+        return self._foreign_site.get(endpoint.identity)
+
     def home_site_index(self, endpoint):
         """The site whose aggregate leased the endpoint's IP."""
         if endpoint.ip is None or endpoint.vn is None:
@@ -252,12 +278,19 @@ class MultiSiteNetwork:
         for site in self.sites:
             site.deny(src_group, dst_group, symmetric=symmetric)
 
-    def create_endpoint(self, identity, group, vn, secret="secret", sink=None):
-        """Enroll an identity fabric-wide (every site's policy server)."""
+    def create_endpoint(self, identity, group, vn, secret="secret", sink=None,
+                        factory=Endpoint):
+        """Enroll an identity fabric-wide (every site's policy server).
+
+        ``factory`` selects the device class — the wireless subsystem
+        passes :class:`repro.wireless.Station`, mirroring
+        :meth:`FabricNetwork.create_endpoint`.
+        """
         if identity in self._endpoints:
             raise ConfigurationError("duplicate endpoint identity %r" % identity)
         endpoint = self.sites[0].create_endpoint(identity, group, vn,
-                                                 secret=secret, sink=sink)
+                                                 secret=secret, sink=sink,
+                                                 factory=factory)
         for site in self.sites[1:]:
             site.adopt_endpoint(endpoint, group, vn)
         self._endpoints[identity] = endpoint
@@ -273,17 +306,28 @@ class MultiSiteNetwork:
         return list(self._endpoints.values())
 
     # ------------------------------------------------------------------ runtime verbs
-    def _completion(self, site_index, on_complete):
+    def attach_completion(self, site, on_complete=None):
         """Completion callback updating the facade's location bookkeeping
-        (attach) or rolling it back (reject) before notifying the caller."""
+        (attach) or rolling it back (reject) before notifying the caller.
+
+        Public because it is the integration point for alternate access
+        layers: wireless onboarding runs through the per-site WLC, and
+        :class:`repro.wireless.deployment.MultiSiteWireless` passes this
+        wrapper as the WLC's ``on_complete`` so stations get exactly the
+        wired verbs' away-announce / return-announce plumbing.
+        """
+        site_index = self.site_index(site)
+
         def wrapped(endpoint, accepted):
             if accepted:
                 self._after_attach(endpoint, site_index)
             else:
-                self._after_reject(endpoint)
+                self.withdraw_location(endpoint)
             if on_complete is not None:
                 on_complete(endpoint, accepted)
         return wrapped
+
+    _completion = attach_completion
 
     def admit(self, endpoint, site, edge=0, on_complete=None):
         """Attach an endpoint to an edge of a site and run onboarding."""
@@ -309,14 +353,9 @@ class MultiSiteNetwork:
 
     def depart(self, endpoint):
         """Endpoint leaves the deployment entirely."""
-        index = self._location.pop(endpoint.identity, None)
         if endpoint.edge is not None:
             endpoint.edge.detach_endpoint(endpoint, deregister=True)
-        foreign = self._foreign_site.pop(endpoint.identity, None)
-        if foreign is not None and endpoint.ip is not None:
-            self.transit_borders[foreign].announce_return(
-                endpoint.vn, endpoint.ip.to_prefix()
-            )
+        self.withdraw_location(endpoint)
 
     def send(self, src_endpoint, dst, size=1500, payload=None,
              count=1, as_train=False):
@@ -326,15 +365,20 @@ class MultiSiteNetwork:
                             count=count, as_train=as_train)
 
     # ------------------------------------------------------------------ roaming plumbing
-    def _after_reject(self, endpoint):
-        """Roll back location state after a rejected (re-)attach.
+    def withdraw_location(self, endpoint):
+        """Clear the facade's location claim and any stale home anchor.
 
-        ROADMAP race (b): a rejected cross-site roam has already
-        deregistered the endpoint from its previous site, so the facade
-        must not keep claiming a location — and if the endpoint was
-        roamed out, the home anchor still hairpins into a site that no
-        longer serves it.  Mirror :meth:`FabricWlc._withdraw`: clear the
-        location, and have the stale foreign border withdraw the anchor.
+        Two callers share this mirror of :meth:`FabricWlc._withdraw`:
+
+        * a rejected (re-)attach — ROADMAP race (b): the endpoint was
+          already deregistered from its previous site, so the facade
+          must not keep claiming a location, and if the endpoint was
+          roamed out, the home anchor still hairpins into a site that no
+          longer serves it;
+        * an explicit departure (wired ``depart``, wireless
+          disassociation): the serving site withdraws its own
+          registration, but the home-border anchor of a roamed-out
+          endpoint is facade state and must be withdrawn here.
         """
         self._location.pop(endpoint.identity, None)
         foreign = self._foreign_site.pop(endpoint.identity, None)
@@ -360,7 +404,7 @@ class MultiSiteNetwork:
             # Foreign attach: this site's border tells the home border.
             self._foreign_site[endpoint.identity] = site_index
             self.transit_borders[site_index].announce_away(
-                endpoint.vn, eid, group=endpoint.group
+                endpoint.vn, eid, group=endpoint.group, mac=endpoint.mac
             )
         elif previous_foreign is not None:
             # Home again: the site it just left withdraws the anchor.

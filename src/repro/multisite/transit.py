@@ -75,6 +75,19 @@ class TransitControlPlane(RoutingServer):
         record = self.database.lookup(vn, address)
         return record.rloc if record is not None else None
 
+    def host_routes(self):
+        """Host routes held by the transit — always expected to be empty.
+
+        The aggregates-only invariant is what keeps the transit scaling
+        with *sites*, not endpoints; inter-site roaming (wired away
+        anchors and now wireless handoffs) is designed so that endpoint
+        churn never leaks here.  Workload summaries and the inter-site
+        property/bench suites assert ``not transit.host_routes()`` after
+        arbitrary roam interleavings.
+        """
+        return [record for record in self.database.records()
+                if record.eid.is_host]
+
     @property
     def aggregate_count(self):
         return len(self.database)

@@ -26,7 +26,7 @@ import struct
 
 from repro.core.errors import EncapsulationError
 from repro.core.types import GroupId, VNId
-from repro.net.packet import IpHeader, Packet, UdpHeader, IPPROTO_UDP
+from repro.net.packet import IpHeader, UdpHeader, IPPROTO_UDP
 
 #: IANA port for VXLAN.
 VXLAN_PORT = 4789

@@ -11,7 +11,6 @@ intent").
 
 from __future__ import annotations
 
-from repro.core.errors import PolicyError
 from repro.policy.matrix import PolicyAction
 
 

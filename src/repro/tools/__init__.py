@@ -1,0 +1,7 @@
+"""Operational tooling (CI gates, determinism digests).
+
+Unlike :mod:`repro.experiments`, nothing here reproduces a paper figure;
+these are the scripts the CI matrix runs to keep the reproduction
+trustworthy — e.g. :mod:`repro.tools.determinism`, whose counter digest
+must be identical across processes and ``PYTHONHASHSEED`` values.
+"""

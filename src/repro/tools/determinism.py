@@ -1,0 +1,80 @@
+"""Print counter digests of the wireless workloads (determinism gate).
+
+The simulation promises bit-identical behaviour for a fixed seed — the
+PR 2 fix made ``SeededRng.spawn`` / flow-entropy hashing independent of
+``PYTHONHASHSEED``, and every ablation in the repo leans on that
+promise.  This tool locks it in: it runs the wireless-campus workload
+and the distributed (inter-site) wireless workload with fixed seeds and
+prints one stable digest line per workload.  The CI determinism lane
+runs it twice under different ``PYTHONHASHSEED`` values and diffs the
+output; any reintroduced ``hash()`` dependence (or unordered-set
+iteration feeding a counter) shows up as a digest mismatch.
+
+Usage::
+
+    python -m repro.tools.determinism [duration_s]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+
+from repro.workloads.distributed_wireless_campus import (
+    DistributedWirelessCampusProfile,
+    DistributedWirelessCampusWorkload,
+)
+from repro.workloads.wireless_campus import (
+    WirelessCampusProfile,
+    WirelessCampusWorkload,
+)
+
+
+def _digest(payload):
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def wireless_campus_digest(duration_s=40.0, seed=17):
+    """Digest of a short single-site wireless campus run."""
+    workload = WirelessCampusWorkload(
+        WirelessCampusProfile(
+            stations=12,
+            num_edges=4,
+            dwell_mean_s=10.0,
+            flow_interval_s=2.0,
+        ),
+        seed=seed,
+    )
+    return _digest(workload.run(duration_s=duration_s))
+
+
+def distributed_wireless_digest(duration_s=30.0, seed=17):
+    """Digest of a short inter-site wireless run (full counter ledger)."""
+    workload = DistributedWirelessCampusWorkload(
+        DistributedWirelessCampusProfile(
+            num_sites=2,
+            stations_per_site=5,
+            dwell_mean_s=10.0,
+            intersite_roam_fraction=0.4,
+            flow_interval_s=2.0,
+        ),
+        seed=seed,
+    )
+    workload.run(duration_s=duration_s)
+    return workload.digest()
+
+
+def main(argv=None):
+    args = sys.argv[1:] if argv is None else argv
+    duration_s = float(args[0]) if args else None
+    kwargs = {} if duration_s is None else {"duration_s": duration_s}
+    print("wireless_campus %s" % wireless_campus_digest(**kwargs))
+    digest = distributed_wireless_digest(**kwargs)
+    print("distributed_wireless_campus %s" % digest)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,13 +16,21 @@ status-quo CAPWAP model this subsystem is ablated against.
 * :class:`FabricWlc` — control plane: auth + SGT + registrar-proxied
   Map-Register/Unregister, single control-CPU queue.
 * :class:`WirelessFabric` — deployment builder over a FabricNetwork.
+* :class:`MultiSiteWireless` — wireless overlays on every site of a
+  :class:`~repro.multisite.network.MultiSiteNetwork`, composing WLC
+  handoff withdrawal with the multi-site away anchoring so stations
+  roam *between sites* with control-plane signaling only.
 * :mod:`repro.wireless.plumbing` — station/AP harness shared with the
   CAPWAP baseline so ablations drive identical stations through both
   data planes.
 """
 
 from repro.wireless.ap import FabricAp, FabricApCounters
-from repro.wireless.deployment import WirelessConfig, WirelessFabric
+from repro.wireless.deployment import (
+    MultiSiteWireless,
+    WirelessConfig,
+    WirelessFabric,
+)
 from repro.wireless.plumbing import (
     DelaySamples,
     HandoverRecorder,
@@ -42,6 +50,7 @@ __all__ = [
     "FabricWlc",
     "FabricWlcStats",
     "HandoverRecorder",
+    "MultiSiteWireless",
     "PoissonPairTraffic",
     "Station",
     "StationPairPlan",

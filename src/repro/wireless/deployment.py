@@ -107,3 +107,122 @@ class WirelessFabric:
         return "WirelessFabric(aps=%d, stations=%d)" % (
             len(self.aps), self.station_count()
         )
+
+
+class MultiSiteWireless:
+    """Wireless overlays on every site of a multi-site fabric.
+
+    One :class:`WirelessFabric` (WLC + APs) per site, plus the glue that
+    makes a station roam *between* sites with control-plane signaling
+    only — the composition the paper's fabric story culminates in:
+
+    * the radio handoff is the ordinary AP-to-AP associate; the foreign
+      site's WLC runs 802.1X against its own policy server (every site
+      enrolled the identity), keeps the home-leased IP (L3 mobility) and
+      registers the station at the foreign edge in the *foreign* site's
+      routing servers;
+    * the departed site's WLC cannot be reached by the foreign fig. 5
+      notify (separate control planes), so the facade asks it for an
+      explicit :meth:`FabricWlc.handoff_out` withdrawal;
+    * the foreign border announces the move to the home border
+      (``AwayRegister`` with the PR 4 ``initiated_at`` ordering guard),
+      which anchors the EID and hairpins home-site traffic over the
+      transit; roaming back home (or disassociating while away)
+      withdraws the anchor via the ``withdraw_location`` /
+      ``_withdraw`` mirror paths.
+
+    Per-endpoint roaming state stays inside the two sites involved; the
+    transit map-server still only ever sees aggregates.
+    """
+
+    def __init__(self, net, config=None):
+        self.net = net                      # a MultiSiteNetwork
+        self.config = config or WirelessConfig()
+        #: one WirelessFabric per site (same knobs everywhere)
+        self.site_wireless = [
+            WirelessFabric(site, self.config) for site in net.sites
+        ]
+        #: global AP numbering: site-major, matching ``site_wireless``
+        self.aps = []
+        self._ap_site = {}                  # FabricAp -> site index
+        self._ap_index = {}                 # FabricAp -> global AP index
+        for index, wireless in enumerate(self.site_wireless):
+            for ap in wireless.aps:
+                self._ap_site[ap] = index
+                self._ap_index[ap] = len(self.aps)
+                self.aps.append(ap)
+
+    # ------------------------------------------------------------------ lookups
+    def site_of_ap(self, ap):
+        """Site index serving an AP (accepts a global AP index too)."""
+        return self._ap_site[self._resolve_ap(ap)]
+
+    def ap_index(self, ap):
+        """Global index of an AP (O(1); the walk workloads' hot lookup)."""
+        return self._ap_index[ap]
+
+    def wlc(self, site):
+        return self.site_wireless[self.net.site_index(site)].wlc
+
+    @property
+    def wlcs(self):
+        return [wireless.wlc for wireless in self.site_wireless]
+
+    def _resolve_ap(self, ap):
+        return self.aps[ap] if isinstance(ap, int) else ap
+
+    # ------------------------------------------------------------------ operator verbs
+    def create_station(self, identity, group, vn, secret="secret", sink=None):
+        """Enroll a wireless identity fabric-wide and mint its Station."""
+        return self.net.create_endpoint(identity, group, vn, secret=secret,
+                                        sink=sink, factory=Station)
+
+    def associate(self, station, ap, on_complete=None):
+        """Bring a station onto any AP's radio, in any site.
+
+        A cross-site move first asks the currently-registered site's WLC
+        to withdraw (see :meth:`FabricWlc.handoff_out`); the facade's
+        location bookkeeping — and with it the away-announce /
+        return-announce flow — rides the onboarding completion exactly
+        like a wired ``admit``/``roam``.
+        """
+        ap = self._resolve_ap(ap)
+        site_index = self._ap_site[ap]
+        # Withdraw from every *other* site whose control plane still has
+        # the station registered.  This is keyed on the WLCs' own
+        # records, not the facade's location bookkeeping: a disassociate
+        # whose queued withdrawal was cancelled by this very association
+        # ("association wins") leaves a registration alive in a site the
+        # facade no longer claims — and a foreign-site association can
+        # never withdraw it via fig. 5.
+        for index, wireless in enumerate(self.site_wireless):
+            if index == site_index:
+                continue
+            if wireless.wlc.registered_edge(station) is not None:
+                wireless.wlc.handoff_out(station)
+        ap.associate(
+            station,
+            on_complete=self.net.attach_completion(site_index, on_complete),
+        )
+
+    def roam(self, station, new_ap, on_complete=None):
+        """Same verb as associate — the facade and the WLCs work out
+        whether the move is intra-edge, inter-edge or inter-site."""
+        self.associate(station, new_ap, on_complete=on_complete)
+
+    def disassociate(self, station):
+        """Radio off: the serving site withdraws the registration and the
+        facade withdraws the location claim (incl. a stale home anchor)."""
+        ap = station.ap
+        if ap is not None:
+            self.site_wireless[self._ap_site[ap]].wlc.disassociate(station)
+        self.net.withdraw_location(station)
+
+    # ------------------------------------------------------------------ metrics
+    def station_count(self):
+        return sum(w.station_count() for w in self.site_wireless)
+
+    def __repr__(self):
+        return "MultiSiteWireless(sites=%d, aps=%d, stations=%d)" % (
+            len(self.site_wireless), len(self.aps), self.station_count()
+        )

@@ -61,6 +61,7 @@ class FabricWlcStats(Counters):
         "unregisters_sent",
         "registrar_acks_received",
         "stale_edge_notifies",
+        "handoffs_out",
     )
 
 
@@ -382,6 +383,44 @@ class FabricWlc:
         if station.ap is not None:
             return  # re-associated while queued; the association wins
         self.stats.disassociations += 1
+        self._withdraw(station)
+
+    # ------------------------------------------------------------------ cross-site handoff
+    def registered_edge(self, station):
+        """The edge this WLC currently has the station registered at.
+
+        ``None`` when this control plane holds no registration (never
+        onboarded here, withdrawn, or onboarding still in flight).  The
+        multi-site facade scans this across sites to decide which WLCs
+        owe a :meth:`handoff_out` withdrawal — the facade's own location
+        bookkeeping is cleared *synchronously* on disassociation, so it
+        cannot be trusted to name the site whose (queued, possibly
+        superseded) withdrawal never ran.
+        """
+        return self._registered_edge.get(station.identity)
+
+    def handoff_out(self, station):
+        """The station now lives behind *another site's* control plane.
+
+        An inter-site roam cannot ride the fig. 5 notify: the foreign
+        site's registration lands in a different routing server, so this
+        WLC's registration would linger forever and blackhole local
+        senders into the old edge.  The multi-site facade therefore asks
+        the departed site's WLC for an explicit withdrawal — the wireless
+        mirror of the wired ``detach_endpoint(deregister=True)`` step of
+        :meth:`repro.multisite.network.MultiSiteNetwork.roam`.
+
+        The withdrawal is queued on the control CPU like any association
+        event, so it keeps FIFO order against a quick roam *back*: the
+        return association is always processed after the withdrawal it
+        supersedes.
+        """
+        self._cpu.submit(self.service_s, self._process_handoff, station)
+
+    def _process_handoff(self, station):
+        if self._registered_edge.get(station.identity) is None:
+            return  # never registered here (or already withdrawn)
+        self.stats.handoffs_out += 1
         self._withdraw(station)
 
     def _withdraw(self, station):

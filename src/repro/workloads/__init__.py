@@ -8,6 +8,9 @@
   inter-site traffic mix and cross-site roaming (multi-site subsystem).
 * :mod:`repro.workloads.wireless_campus` — stations walking across APs
   with Zipf traffic (fabric-wireless subsystem), incl. roam storms.
+* :mod:`repro.workloads.distributed_wireless_campus` — wireless overlays
+  on every site of a federation, with walks that cross the transit
+  (inter-site wireless roaming), incl. inter-site roam storms.
 * :mod:`repro.workloads.traffic` — shared flow/popularity machinery.
 """
 
@@ -27,6 +30,10 @@ from repro.workloads.distributed_campus import (
     DistributedCampusProfile,
     DistributedCampusWorkload,
 )
+from repro.workloads.distributed_wireless_campus import (
+    DistributedWirelessCampusProfile,
+    DistributedWirelessCampusWorkload,
+)
 from repro.workloads.wireless_campus import (
     WirelessCampusProfile,
     WirelessCampusWorkload,
@@ -35,6 +42,8 @@ from repro.workloads.wireless_campus import (
 __all__ = [
     "DistributedCampusProfile",
     "DistributedCampusWorkload",
+    "DistributedWirelessCampusProfile",
+    "DistributedWirelessCampusWorkload",
     "FlowGenerator",
     "PopularityModel",
     "CampusProfile",

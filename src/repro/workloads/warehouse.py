@@ -28,7 +28,6 @@ tractable at full scale.
 from __future__ import annotations
 
 from repro.baselines.bgp import BgpPeer, BgpRouteReflector
-from repro.core.errors import ConfigurationError
 from repro.core.types import VNId
 from repro.fabric.network import FabricConfig, FabricNetwork
 from repro.net.addresses import IPv4Address
@@ -148,7 +147,6 @@ class WarehouseLispRun:
     def _start_monitored_traffic(self):
         """Each monitored host gets a steady stream from one source."""
         s = self.scenario
-        sim = self.fabric.sim
         for index, host in enumerate(self._monitored):
             source = self.sources[index % len(self.sources)]
             self._schedule_stream(source, host, s.monitor_interval_s,

@@ -12,7 +12,6 @@ These tests demonstrate the loop *exists* without mitigation 1 (TTL is
 what finally kills the packets) and that the mitigation prevents it.
 """
 
-from tests.conftest import admit_and_settle
 
 
 def _warm(net, src, dst, times=2):

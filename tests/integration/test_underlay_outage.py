@@ -5,7 +5,6 @@ RLOC stops being announced, they delete the overlay routes pointing at it
 and fall back to the border default, until a new registration appears.
 """
 
-from tests.conftest import admit_and_settle
 
 
 def _warm_path(net, src, dst):

@@ -1,0 +1,162 @@
+"""Property: inter-site wireless location state matches a flat oracle.
+
+The inter-site roam path stacks every asynchronous mechanism the repo
+has — radio handoff, WLC control queues in *two* sites, 802.1X, the
+registrar Map-Register pipeline, the fig. 5 notify, the cross-site
+handoff withdrawal, transit resolution, and the away-anchor
+install/withdraw with its ``initiated_at`` ordering guards.  Whatever
+interleaving of intra-site and inter-site roams (and disassociations)
+runs — including operations issued while earlier ones are still in
+flight — once the event queue drains the federation must agree with a
+dict that just remembers each station's current AP:
+
+* the *serving* site's map-server resolves the station to its serving
+  edge; the *home* site's map-server resolves it to the home border's
+  anchor whenever the station is away (and to the serving edge when it
+  is home);
+* the away tables hold exactly the away stations, each pointing at the
+  serving site's transit RLOC, and the transit map-server still holds
+  aggregates only;
+* exactly one WLC — the serving site's — has a ``_registered_edge``
+  record, and the facade's location bookkeeping agrees;
+* a probe packet from a home-site wired server is delivered.
+
+Mirrors ``test_wireless_registration.py``, lifted across sites.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multisite import MultiSiteConfig, MultiSiteNetwork
+from repro.wireless import MultiSiteWireless, WirelessConfig
+
+VN = 620
+NUM_SITES = 2
+EDGES_PER_SITE = 2
+APS_PER_SITE = EDGES_PER_SITE          # one AP per edge
+NUM_APS = NUM_SITES * APS_PER_SITE
+NUM_STATIONS = 3
+
+#: one operation: (station index, AP index or None-for-disassociate,
+#: drain-the-event-queue-afterwards?).  Undrained operations interleave
+#: with in-flight handoffs, away announcements and anchor withdrawals —
+#: the cross-site races the ordering guards exist for.
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_STATIONS - 1),
+        st.one_of(st.none(),
+                  st.integers(min_value=0, max_value=NUM_APS - 1)),
+        st.booleans(),
+    ),
+    max_size=8,
+)
+
+
+def _build():
+    net = MultiSiteNetwork(MultiSiteConfig(
+        num_sites=NUM_SITES, edges_per_site=EDGES_PER_SITE, seed=37,
+    ))
+    wifi = MultiSiteWireless(net, WirelessConfig(aps_per_edge=1))
+    net.define_vn("wifi", VN, "10.48.0.0/15")
+    net.define_group("stations", 1, VN)
+    net.define_group("servers", 2, VN)
+    net.allow("stations", "servers")
+    servers = []
+    for site in range(NUM_SITES):
+        server = net.create_endpoint("srv-%d" % site, "servers", VN)
+        net.admit(server, site, 0)
+        servers.append(server)
+    stations = [
+        wifi.create_station("sta-%d" % index, "stations", VN)
+        for index in range(NUM_STATIONS)
+    ]
+    net.settle()
+    return net, wifi, servers, stations
+
+
+def _assert_oracle(net, wifi, servers, stations, oracle):
+    expected_away = {}   # home site -> {eid prefix -> serving border rloc}
+    for index, station in enumerate(stations):
+        if station.ip is None:
+            assert index not in oracle
+            continue
+        eid = station.ip.to_prefix()
+        home = net.home_site_index(station)
+        if index in oracle:
+            serving_ap = wifi.aps[oracle[index]]
+            serving = wifi.site_of_ap(serving_ap)
+            assert station.ap is serving_ap
+            assert station.edge is serving_ap.edge
+            assert net.location_index(station) == serving
+            # Exactly the serving site's WLC holds the registration.
+            for site_index, wlc in enumerate(wifi.wlcs):
+                registered = wlc.registered_edge(station)
+                if site_index == serving:
+                    assert registered is serving_ap.edge
+                else:
+                    assert registered is None
+            # Serving site resolves the station at its edge.
+            record = net.sites[serving].routing_server.database.lookup(
+                VN, station.ip)
+            assert record is not None
+            assert record.rloc == serving_ap.edge.rloc
+            if serving != home:
+                assert net.foreign_site_index(station) == serving
+                # Home site anchors at its border and hairpins.
+                anchor = net.sites[home].routing_server.database.lookup(
+                    VN, station.ip)
+                assert anchor is not None
+                assert anchor.rloc == net.transit_borders[home].rloc
+                expected_away.setdefault(home, {})[eid] = (
+                    net.transit_borders[serving].transit_rloc
+                )
+            else:
+                assert net.foreign_site_index(station) is None
+        else:
+            assert station.ap is None and station.edge is None
+            assert net.location_index(station) is None
+            assert net.foreign_site_index(station) is None
+            for wlc in wifi.wlcs:
+                assert wlc.registered_edge(station) is None
+            for site in net.sites:
+                assert site.routing_server.database.lookup_exact(
+                    VN, eid) is None
+
+    # Away tables: exactly the away stations, nothing stale.
+    for site_index, border in enumerate(net.transit_borders):
+        expected = expected_away.get(site_index, {})
+        held = {key[1]: rloc for key, rloc in border._away.items()}
+        assert held == expected
+    # The aggregates-only invariant survived every interleaving.
+    assert not net.transit.host_routes()
+
+    # Liveness probe: a home-site wired server reaches every associated
+    # station (hairpinning over the transit when the station is away).
+    for index, station in enumerate(stations):
+        if index not in oracle or station.ip is None:
+            continue
+        home = net.home_site_index(station)
+        before = station.packets_received
+        net.send(servers[home], station)
+        net.settle()
+        assert station.packets_received == before + 1
+
+
+@given(operations)
+@settings(max_examples=30, deadline=None)
+def test_intersite_location_state_matches_oracle(ops):
+    net, wifi, servers, stations = _build()
+    oracle = {}   # station index -> AP index, absent = disassociated
+
+    for station_index, ap_index, drain in ops:
+        station = stations[station_index]
+        if ap_index is None:
+            wifi.disassociate(station)
+            oracle.pop(station_index, None)
+        else:
+            wifi.associate(station, ap_index)
+            oracle[station_index] = ap_index
+        if drain:
+            net.settle()
+    net.settle(max_time=300.0)
+    _assert_oracle(net, wifi, servers, stations, oracle)

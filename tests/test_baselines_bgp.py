@@ -106,8 +106,8 @@ def test_batching_delays_to_flush_ticks(sim):
     )
     sender = BgpPeer(sim, "s", IPv4Address(0xC0A80001), leaves[0], net, reflector)
     arrivals = []
-    receiver = BgpPeer(sim, "r", IPv4Address(0xC0A80002), leaves[1], net,
-                       reflector, on_update=lambda *a: arrivals.append(sim.now))
+    BgpPeer(sim, "r", IPv4Address(0xC0A80002), leaves[1], net,
+            reflector, on_update=lambda *a: arrivals.append(sim.now))
     sender.advertise(VN, _eid())
     sim.run()
     # Arrival waits for the receiver's flush tick, not just serialization.

@@ -127,3 +127,99 @@ def test_batched_handovers_cost_one_service_charge(sim):
     # One handover service charge for the whole burst: the CPU was busy
     # far less than 10x the per-handover cost.
     assert batched._cpu.submitted == 1
+
+
+@pytest.fixture
+def anchored_pair(sim):
+    """Two peered controllers, one AP each (anchor/foreign roaming)."""
+    topo, spines, leaves = Topology.two_tier(2, 4)
+    net = UnderlayNetwork(sim, topo)
+    controllers = [
+        WlanController(sim, net,
+                       rloc=IPv4Address.parse("192.168.255.%d" % (20 + i)),
+                       node=spines[i])
+        for i in range(2)
+    ]
+    controllers[0].connect_anchor(controllers[1])
+    aps = [
+        AccessPointTunnel(sim, "ap-%d" % i, leaves[i], controllers[i], net,
+                          IPv4Address(0xC0A80001 + i))
+        for i in range(2)
+    ]
+    return net, controllers, aps
+
+
+def test_anchor_tunnel_hairpins_through_both_controllers(sim, anchored_pair):
+    net, (home, foreign), aps = anchored_pair
+    log = []
+    src = _client(aps[0], "10.0.0.1", log)
+    dst = _client(aps[0], "10.0.0.2", log)
+    sim.run()
+    # Roam the destination to the foreign controller's AP.
+    aps[0].detach_client(dst)
+    aps[1].attach_client(dst, lambda p, t: log.append(("10.0.0.2", t)))
+    sim.run()
+    assert home.anchor_moves == 1
+    aps[0].inject_from_client(make_udp_packet(src, dst, 1, 2, size=500))
+    sim.run()
+    assert [entry[0] for entry in log] == ["10.0.0.2"]
+    # The packet crossed *both* controller queues (anchor then foreign).
+    assert home.packets_anchor_tunneled == 1
+    assert foreign.packets_processed >= 1
+
+
+def test_roam_back_home_tears_anchor_down(sim, anchored_pair):
+    net, (home, foreign), aps = anchored_pair
+    log = []
+    src = _client(aps[0], "10.0.0.1", log)
+    dst = _client(aps[0], "10.0.0.2", log)
+    sim.run()
+    aps[0].detach_client(dst)
+    aps[1].attach_client(dst, lambda p, t: None)
+    sim.run()
+    aps[1].detach_client(dst)
+    aps[0].attach_client(dst, lambda p, t: log.append(("10.0.0.2", t)))
+    sim.run()
+    aps[0].inject_from_client(make_udp_packet(src, dst, 1, 2, size=500))
+    sim.run()
+    assert [entry[0] for entry in log] == ["10.0.0.2"]
+    # Direct delivery again: no anchor tunneling after the return.
+    assert home.packets_anchor_tunneled == 0
+    assert not home._anchor_out
+
+
+def test_roamed_client_reverse_path_routes_via_peer(sim, anchored_pair):
+    net, (home, foreign), aps = anchored_pair
+    log = []
+    src = _client(aps[0], "10.0.0.1", log)
+    dst = _client(aps[0], "10.0.0.2", log)
+    sim.run()
+    aps[0].detach_client(dst)
+    aps[1].attach_client(dst, lambda p, t: None)
+    sim.run()
+    # Traffic *from* the roamed client reaches a home-side client via
+    # the inter-controller path.
+    aps[1].inject_from_client(make_udp_packet(dst, src, 2, 1, size=500))
+    sim.run()
+    assert [entry[0] for entry in log] == ["10.0.0.1"]
+
+
+def test_disassociation_while_away_tears_anchor_down(sim, anchored_pair):
+    """Regression: a roamed-out client detaching at the foreign
+    controller left the home anchor alive, and the peer-route fallback
+    bounced its packets between the controllers forever."""
+    net, (home, foreign), aps = anchored_pair
+    log = []
+    src = _client(aps[0], "10.0.0.1", log)
+    dst = _client(aps[0], "10.0.0.2", log)
+    sim.run()
+    aps[0].detach_client(dst)
+    aps[1].attach_client(dst, lambda p, t: None)
+    sim.run()
+    aps[1].detach_client(dst)       # radio off while away
+    sim.run()
+    assert not home._anchor_out
+    aps[0].inject_from_client(make_udp_packet(src, dst, 1, 2, size=500))
+    sim.run()                        # must terminate: dropped, no loop
+    assert home.packets_anchor_tunneled == 0
+    assert home.packets_processed + foreign.packets_processed <= 3

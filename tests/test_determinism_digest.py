@@ -1,0 +1,36 @@
+"""Cross-process determinism: digests survive PYTHONHASHSEED changes.
+
+The CI determinism lane diffs ``python -m repro.tools.determinism``
+output across hash seeds; this test is the same gate in-repo, so a
+reintroduced ``hash()`` dependence fails tier-1 before it ever reaches
+CI.  ``PYTHONHASHSEED`` is fixed at interpreter startup, so the tool
+must run in subprocesses.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run(hash_seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.tools.determinism", "20.0"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_digests_identical_across_hash_seeds():
+    first = _run("1")
+    second = _run("31337")
+    assert first == second
+    lines = first.strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("wireless_campus ")
+    assert lines[1].startswith("distributed_wireless_campus ")

@@ -1,10 +1,6 @@
 """Tests for the experiment harness (small parameterizations)."""
 
-import pytest
-
 from repro.experiments.drops import (
-    BRANCH_PROFILE,
-    CAMPUS_PROFILE,
     VPN_PROFILE,
     run_device,
     run_fig12,

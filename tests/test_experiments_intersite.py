@@ -1,0 +1,101 @@
+"""Tests for the inter-site handover experiment and wireless workload."""
+
+from repro.experiments.intersite_wireless_handover import (
+    format_intersite_sweep,
+    run_intersite_handover_sweep,
+)
+from repro.workloads.distributed_wireless_campus import (
+    DistributedWirelessCampusProfile,
+    DistributedWirelessCampusWorkload,
+)
+
+
+def test_fabric_flat_anchor_climbs():
+    rows = run_intersite_handover_sweep(rates=(2000, 40000), duration_s=0.3)
+    low, high = rows
+    # The anchor baseline collapses once data saturates the anchor WLC
+    # queue; the fabric's inter-site roam cost is signaling + a fixed
+    # transit RTT, independent of offered load.
+    assert high["capwap_roam_median_s"] > 2 * low["capwap_roam_median_s"]
+    assert high["fabric_roam_median_s"] < 1.5 * low["fabric_roam_median_s"]
+    assert high["fabric_roam_median_s"] < high["capwap_roam_median_s"]
+    # Every away leg ran the handoff withdrawal; the transit never
+    # learned a host route.
+    for row in rows:
+        assert row["fabric_handoffs_out"] > 0
+        assert row["transit_host_routes"] == 0
+    assert "fabric roam ms" in format_intersite_sweep(rows)
+
+
+def test_sweep_is_bit_identical_for_fixed_seed():
+    first = run_intersite_handover_sweep(rates=(2000,), duration_s=0.2,
+                                         seed=67)
+    second = run_intersite_handover_sweep(rates=(2000,), duration_s=0.2,
+                                          seed=67)
+    assert first == second
+
+
+def test_distributed_wireless_walk_keeps_traffic_flowing():
+    workload = DistributedWirelessCampusWorkload(
+        DistributedWirelessCampusProfile(
+            num_sites=2, stations_per_site=6, dwell_mean_s=15.0,
+            flow_interval_s=4.0,
+        ),
+        seed=5,
+    )
+    summary = workload.run(duration_s=90.0)
+    assert summary["associated"] == 12
+    assert summary["roams"] > 10
+    assert summary["intersite_handoffs"] > 0
+    assert not summary["transit_has_host_state"]
+    assert summary["flows_fired"] > 0
+    # The distributed data plane keeps delivering across inter-site
+    # roams (losses only inside handover windows).
+    assert summary["server_packets_received"] >= \
+        0.9 * summary["flows_fired"]
+    # Facade bookkeeping agrees with the anchors actually installed.
+    away = sum(1 for s in workload.stations
+               if workload.net.foreign_site_index(s) is not None)
+    assert summary["away_endpoints"] == away
+
+
+def test_intersite_roam_storm_converges():
+    workload = DistributedWirelessCampusWorkload(
+        DistributedWirelessCampusProfile(num_sites=3, stations_per_site=5),
+        seed=11,
+    )
+    workload.bring_up()
+    summary = workload.intersite_roam_storm(window_s=0.5)
+    # Every station crossed sites and completed its re-registration.
+    assert summary["storm_completions"] == 15
+    assert summary["intersite_handoffs"] == 15
+    assert summary["away_endpoints"] == 15
+    assert summary["sustained_roams_per_s"] > 0
+    assert not summary["transit_has_host_state"]
+    net = workload.net
+    for station in workload.stations:
+        site = net.location_index(station)
+        assert site is not None
+        record = net.sites[site].routing_server.database.lookup(
+            workload.VN_ID, station.ip)
+        assert record is not None
+        assert record.rloc == station.ap.edge.rloc
+        home = net.home_site_index(station)
+        anchor = net.sites[home].routing_server.database.lookup(
+            workload.VN_ID, station.ip)
+        assert anchor is not None
+        assert anchor.rloc == net.transit_borders[home].rloc
+
+
+def test_digest_is_seed_stable():
+    def digest(seed):
+        workload = DistributedWirelessCampusWorkload(
+            DistributedWirelessCampusProfile(num_sites=2,
+                                             stations_per_site=4),
+            seed=seed,
+        )
+        workload.run(duration_s=30.0)
+        return workload.digest()
+
+    assert digest(7) == digest(7)
+    assert digest(7) != digest(8)

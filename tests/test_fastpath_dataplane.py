@@ -6,8 +6,6 @@ behaviour of each piece — megaflow cache, encap template, train-aware
 ACL accounting, train injection, invalidation hooks — in isolation.
 """
 
-import pytest
-
 from repro.experiments.drops import VPN_PROFILE, run_device
 from repro.fabric.network import FabricConfig, FabricNetwork
 from repro.net.addresses import IPv4Address
@@ -26,7 +24,6 @@ from repro.net.vxlan import (
 )
 from repro.policy.acl import GroupAcl
 from repro.policy.matrix import PolicyAction, PolicyRule
-
 
 VN = 4098
 

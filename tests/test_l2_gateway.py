@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fabric import FabricConfig, FabricNetwork
-from repro.fabric.l2 import L2Gateway
 from repro.net.packet import (
     ArpPayload,
     BROADCAST_MAC,
@@ -51,7 +50,6 @@ def test_local_arp_suppressed(l2_fabric):
     net.settle()
     assert gateway.counters.arp_suppressed_locally == 1
     assert a.packets_received == 1            # the ARP reply
-    reply = None
     # a's sink not set; verify via received counter and reply payload shape
     assert gateway.counters.arp_converted_unicast == 0
 

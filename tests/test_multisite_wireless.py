@@ -1,0 +1,213 @@
+"""Unit tests for inter-site wireless roaming (MultiSiteWireless)."""
+
+import pytest
+
+from repro.multisite import MultiSiteConfig, MultiSiteNetwork
+from repro.wireless import MultiSiteWireless, WirelessConfig
+
+VN = 700
+
+
+@pytest.fixture
+def campus():
+    """Two sites x two edges, one AP per edge; one wired server per site."""
+    net = MultiSiteNetwork(MultiSiteConfig(num_sites=2, edges_per_site=2,
+                                           seed=23))
+    wifi = MultiSiteWireless(net, WirelessConfig(aps_per_edge=1))
+    net.define_vn("wifi", VN, "10.32.0.0/15")
+    net.define_group("stations", 1, VN)
+    net.define_group("servers", 2, VN)
+    net.allow("stations", "servers")
+    servers = []
+    for index in range(2):
+        server = net.create_endpoint("srv-%d" % index, "servers", VN)
+        net.admit(server, index, 0)
+        servers.append(server)
+    net.settle()
+    return net, wifi, servers
+
+
+def _roamed(net, wifi, servers):
+    """Onboard a station at site 0 and roam it to site 1 (settled)."""
+    station = wifi.create_station("sta", "stations", VN)
+    wifi.associate(station, 0)          # site 0, edge 0
+    net.settle()
+    wifi.roam(station, 2)               # site 1, edge 0
+    net.settle()
+    return station
+
+
+def test_first_association_leases_from_serving_site(campus):
+    net, wifi, _servers = campus
+    a = wifi.create_station("a", "stations", VN)
+    b = wifi.create_station("b", "stations", VN)
+    wifi.associate(a, 0)                # site 0
+    wifi.associate(b, 3)                # site 1
+    net.settle()
+    assert net.site_aggregates(VN)[0].contains(a.ip)
+    assert net.site_aggregates(VN)[1].contains(b.ip)
+    assert net.home_site_index(a) == 0
+    assert net.home_site_index(b) == 1
+    # Neither station is "away": no anchors, no transit signaling state.
+    assert all(border.away_count() == 0 for border in net.transit_borders)
+
+
+def test_intersite_roam_keeps_ip_and_anchors_home(campus):
+    net, wifi, servers = campus
+    station = _roamed(net, wifi, servers)
+    assert net.site_aggregates(VN)[0].contains(station.ip)   # L3 mobility
+    assert net.location_index(station) == 1
+    assert net.foreign_site_index(station) == 1
+    # Departed site's WLC withdrew; foreign site's WLC owns the record.
+    assert wifi.wlc(0).stats.handoffs_out == 1
+    assert wifi.wlc(0).registered_edge(station) is None
+    assert wifi.wlc(1).registered_edge(station) is station.edge
+    assert station.edge in (site.edges[0] for site in [net.sites[1]])
+    # Home border anchors the EID against itself and hairpins.
+    home_border = net.transit_borders[0]
+    assert home_border.away_count() == 1
+    record = net.sites[0].routing_server.database.lookup(VN, station.ip)
+    assert record is not None
+    assert record.rloc == home_border.rloc
+    # The anchor kept the IP-to-MAC binding (ARP keeps answering).
+    assert record.mac == station.mac
+    # Foreign site resolves the station locally at its serving edge.
+    foreign = net.sites[1].routing_server.database.lookup(VN, station.ip)
+    assert foreign is not None
+    assert foreign.rloc == station.edge.rloc
+    # The transit still holds aggregates only.
+    assert not net.transit.host_routes()
+
+
+def test_traffic_hairpins_both_directions_while_away(campus):
+    net, wifi, servers = campus
+    station = _roamed(net, wifi, servers)
+    home_srv, foreign_srv = servers
+    before = net.transit_borders[0].counters.transit_reencapsulated
+    net.send(home_srv, station)
+    net.settle()
+    assert station.packets_received == 1
+    assert net.transit_borders[0].counters.transit_reencapsulated > before
+    net.send(station, home_srv)
+    net.settle()
+    assert home_srv.packets_received == 1
+    # Foreign-site traffic stays local: resolved at the serving edge.
+    transit_before = net.transit_borders[1].counters.transit_reencapsulated
+    net.send(foreign_srv, station)
+    net.settle()
+    assert station.packets_received == 2
+    assert net.transit_borders[1].counters.transit_reencapsulated \
+        == transit_before
+
+
+def test_roam_back_home_withdraws_anchor(campus):
+    net, wifi, servers = campus
+    station = _roamed(net, wifi, servers)
+    wifi.roam(station, 1)               # home site, other edge
+    net.settle()
+    assert net.location_index(station) == 0
+    assert net.foreign_site_index(station) is None
+    assert net.transit_borders[0].away_count() == 0
+    assert wifi.wlc(1).stats.handoffs_out == 1
+    record = net.sites[0].routing_server.database.lookup(VN, station.ip)
+    assert record is not None
+    assert record.rloc == station.edge.rloc
+    # Foreign site forgot the station entirely (only the VN delegate to
+    # its own border still covers the address).
+    stale = net.sites[1].routing_server.database.lookup_exact(
+        VN, station.ip.to_prefix())
+    assert stale is None
+    net.send(servers[0], station)
+    net.settle()
+    assert station.packets_received == 1
+
+
+def test_quick_away_and_back_does_not_blackhole(campus):
+    net, wifi, servers = campus
+    station = wifi.create_station("sta", "stations", VN)
+    wifi.associate(station, 0)
+    net.settle()
+    # Roam out and back before anything settles: the initiated_at
+    # ordering guard must discard the late anchor install.
+    wifi.roam(station, 2)
+    wifi.roam(station, 0)
+    net.settle()
+    assert net.location_index(station) == 0
+    assert net.foreign_site_index(station) is None
+    assert net.transit_borders[0].away_count() == 0
+    net.send(servers[0], station)
+    net.settle()
+    assert station.packets_received == 1
+
+
+def test_disassociate_while_away_cleans_everything(campus):
+    net, wifi, servers = campus
+    station = _roamed(net, wifi, servers)
+    wifi.disassociate(station)
+    net.settle()
+    assert station.ap is None and station.edge is None
+    assert net.location_index(station) is None
+    assert net.transit_borders[0].away_count() == 0
+    for site in net.sites:
+        # No host route anywhere; only the VN delegates remain.
+        assert site.routing_server.database.lookup_exact(
+            VN, station.ip.to_prefix()) is None
+    # Re-association anywhere keeps the home-leased IP (L3 mobility).
+    ip = station.ip
+    wifi.associate(station, 3)          # site 1 again
+    net.settle()
+    assert station.ip == ip
+    assert net.foreign_site_index(station) == 1
+    assert net.transit_borders[0].away_count() == 1
+
+
+def test_intra_site_roam_while_away_sends_no_new_announce(campus):
+    net, wifi, servers = campus
+    station = _roamed(net, wifi, servers)
+    sent = net.transit_borders[1].counters.away_announcements_sent
+    wifi.roam(station, 3)               # site 1's other edge
+    net.settle()
+    assert net.foreign_site_index(station) == 1
+    # Race (c) analog: the anchor already points at this site's border.
+    assert net.transit_borders[1].counters.away_announcements_sent == sent
+    assert wifi.wlc(1).stats.roams >= 1
+    net.send(servers[0], station)
+    net.settle()
+    assert station.packets_received == 1
+
+
+def test_megaflow_and_trains_keep_counters_identical():
+    """Inter-site wireless roams + hairpin traffic: fast path invisible."""
+
+    def run(megaflow, trains):
+        net = MultiSiteNetwork(MultiSiteConfig(
+            num_sites=2, edges_per_site=2, seed=29, megaflow=megaflow))
+        wifi = MultiSiteWireless(net, WirelessConfig(aps_per_edge=1))
+        net.define_vn("wifi", VN, "10.32.0.0/15")
+        net.define_group("stations", 1, VN)
+        net.define_group("servers", 2, VN)
+        net.allow("stations", "servers")
+        server = net.create_endpoint("srv", "servers", VN)
+        net.admit(server, 0, 0)
+        station = wifi.create_station("sta", "stations", VN)
+        wifi.associate(station, 0)
+        net.settle()
+        wifi.roam(station, 2)
+        net.settle()
+        for _ in range(3):
+            net.send(server, station, count=4, as_train=trains)
+            net.send(station, server, count=4, as_train=trains)
+        net.settle()
+        wifi.roam(station, 1)            # back home: anchor flushes
+        net.settle()
+        net.send(server, station, count=4, as_train=trains)
+        net.settle()
+        return (station.packets_received, server.packets_received,
+                sum(b.counters.transit_drops for b in net.transit_borders),
+                sum(e.counters.policy_drops
+                    for site in net.sites for e in site.edges))
+
+    baseline = run(False, False)
+    assert run(True, False) == baseline
+    assert run(True, True) == baseline
+    assert baseline[0] == 16 and baseline[1] == 12

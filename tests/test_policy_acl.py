@@ -2,7 +2,7 @@
 
 from repro.core.types import GroupId
 from repro.net.addresses import Prefix
-from repro.policy import ConnectivityMatrix, GroupAcl, IpAcl, PolicyAction
+from repro.policy import ConnectivityMatrix, GroupAcl, IpAcl
 
 
 def _matrix():

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.fabric import FabricConfig, FabricNetwork
-from repro.fabric.services import Middlebox, ServiceChain
+from repro.fabric.services import ServiceChain
 from tests.conftest import admit_and_settle
 
 VN = 700
