@@ -48,7 +48,8 @@ class Batcher:
 
     __slots__ = ("sim", "_flush", "window_s", "max_items", "queue",
                  "service_s", "_items", "_timer",
-                 "batches_flushed", "items_submitted", "max_batch")
+                 "batches_flushed", "items_submitted", "max_batch",
+                 "flush_hist")
 
     def __init__(self, sim, flush, window_s=0.0, max_items=None,
                  queue=None, service_s=0.0):
@@ -63,6 +64,8 @@ class Batcher:
         self.batches_flushed = 0
         self.items_submitted = 0
         self.max_batch = 0
+        #: observability hook: Histogram of flush sizes (None = off)
+        self.flush_hist = None
 
     @property
     def pending(self):
@@ -95,6 +98,8 @@ class Batcher:
         self.batches_flushed += 1
         if len(items) > self.max_batch:
             self.max_batch = len(items)
+        if self.flush_hist is not None:
+            self.flush_hist.record(len(items))
         if self.queue is not None:
             self.queue.submit(self.service_s, self._flush, items)
         else:

@@ -20,6 +20,9 @@ class SerialQueue:
         self._busy_until = 0.0
         self.max_delay_s = 0.0
         self.submitted = 0
+        #: observability hook: a Histogram recording per-item queue wait;
+        #: None (the default) keeps the off path to a single test
+        self.wait_hist = None
 
     def submit(self, service_s, fn, *args):
         """Queue ``fn(*args)`` behind current work for ``service_s``.
@@ -31,6 +34,8 @@ class SerialQueue:
         self._busy_until = start + service_s
         self.max_delay_s = max(self.max_delay_s, start - now)
         self.submitted += 1
+        if self.wait_hist is not None:
+            self.wait_hist.record(start - now)
         return self.sim.schedule(self._busy_until - now, fn, *args)
 
     @property

@@ -73,6 +73,14 @@ class BorderRouterCounters(Counters):
         "away_unregisters_received",
     )
 
+    # Normalized metric-registry spellings (legacy names stay real
+    # attributes; see repro.core.counters.Counters.METRIC_NAMES).
+    METRIC_NAMES = {
+        "transit_in": "transit_packets_in",
+        "relayed_to_edge": "packets_relayed_to_edge",
+        "transit_reencapsulated": "transit_packets_reencapsulated",
+    }
+
 
 class BorderRouter:
     """Pubsub-synced fabric border with external routes."""
@@ -148,7 +156,7 @@ class BorderRouter:
         register = MapRegister(vn, prefix, self.transit_rloc, group=None)
         self._send_transit(self.transit_map_server_rloc, register)
 
-    def announce_away(self, vn, eid, group=None, mac=None):
+    def announce_away(self, vn, eid, group=None, mac=None, trace_parent=None):
         """Tell the EID's home border the endpoint now lives in this site.
 
         The home border's transit RLOC comes from transit resolution of
@@ -163,24 +171,36 @@ class BorderRouter:
         the whole away period would be a silent regression).
         """
         initiated_at = self.sim.now
+        span = self.sim.tracer.span("border_announce_away", device=self,
+                                    parent=trace_parent, eid=eid)
         def deliver(home_rloc, vn=vn, eid=eid, group=group, mac=mac):
             if home_rloc is None or home_rloc == self.transit_rloc:
+                span.finish(outcome="no_home")
                 return
             self.counters.away_announcements_sent += 1
-            self._send_transit(home_rloc, AwayRegister(
+            away = AwayRegister(
                 vn, eid, self.transit_rloc, group=group, mac=mac,
-                initiated_at=initiated_at))
+                initiated_at=initiated_at)
+            away.trace_ctx = span.ctx
+            self._send_transit(home_rloc, away)
+            span.finish(outcome="sent")
         self._transit_resolve(vn, eid.address, deliver)
 
-    def announce_return(self, vn, eid):
+    def announce_return(self, vn, eid, trace_parent=None):
         """Tell the EID's home border the endpoint left this site again."""
         initiated_at = self.sim.now
+        span = self.sim.tracer.span("border_announce_return", device=self,
+                                    parent=trace_parent, eid=eid)
         def deliver(home_rloc, vn=vn, eid=eid):
             if home_rloc is None or home_rloc == self.transit_rloc:
+                span.finish(outcome="no_home")
                 return
             self.counters.away_announcements_sent += 1
-            self._send_transit(home_rloc, AwayUnregister(
-                vn, eid, self.transit_rloc, initiated_at=initiated_at))
+            unregister = AwayUnregister(
+                vn, eid, self.transit_rloc, initiated_at=initiated_at)
+            unregister.trace_ctx = span.ctx
+            self._send_transit(home_rloc, unregister)
+            span.finish(outcome="sent")
         self._transit_resolve(vn, eid.address, deliver)
 
     def away_count(self):
@@ -458,14 +478,18 @@ class BorderRouter:
         discards announcements older than the away state already held.
         """
         self.counters.away_registers_received += 1
+        span = self.sim.tracer.span("border_away_anchor", device=self,
+                                    parent=message.trace_ctx, eid=message.eid)
         key = (int(message.vn), message.eid)
         if message.initiated_at is not None:
             held = self._away_initiated.get(key)
             if held is not None and message.initiated_at < held:
+                span.finish(outcome="stale")
                 return  # older than the away state we already track
             current = self.synced.lookup_exact(message.vn, message.eid)
             if current is not None and current.rloc != self.rloc \
                     and current.registered_at > message.initiated_at:
+                span.finish(outcome="stale")
                 return  # a fresher home re-registration exists
             self._away_initiated[key] = message.initiated_at
         self._away[key] = message.away_rloc
@@ -474,20 +498,26 @@ class BorderRouter:
             register = MapRegister(message.vn, message.eid, self.rloc,
                                    message.group, mac=message.mac,
                                    mobility=True)
+            register.trace_ctx = span.ctx
             self.underlay.send(
                 self.rloc, server_rloc,
                 control_packet(self.rloc, server_rloc, register),
             )
+        span.finish(outcome="anchored")
 
     def _handle_away_unregister(self, message):
         self.counters.away_unregisters_received += 1
+        span = self.sim.tracer.span("border_away_release", device=self,
+                                    parent=message.trace_ctx, eid=message.eid)
         key = (int(message.vn), message.eid)
         current = self._away.get(key)
         if current != message.away_rloc:
+            span.finish(outcome="superseded")
             return  # superseded by a move to a third site
         if message.initiated_at is not None:
             held = self._away_initiated.get(key)
             if held is not None and message.initiated_at < held:
+                span.finish(outcome="stale")
                 return  # stale return announcement lost a race
         del self._away[key]
         self._away_initiated.pop(key, None)
@@ -496,10 +526,12 @@ class BorderRouter:
             # Guarded by our own RLOC: a racing home re-attach (the edge's
             # fresh registration) is never torn down.
             unregister = MapUnregister(message.vn, message.eid, self.rloc)
+            unregister.trace_ctx = span.ctx
             self.underlay.send(
                 self.rloc, server_rloc,
                 control_packet(self.rloc, server_rloc, unregister),
             )
+        span.finish(outcome="released")
 
     def _send_transit(self, dst_rloc, message):
         self.transit.send(

@@ -88,6 +88,16 @@ class EdgeRouterCounters(Counters):
         "miss_drops",
     )
 
+    # Normalized metric-registry spellings for the ad-hoc legacy names;
+    # the legacy attributes stay real (hot paths and the workload
+    # ledger digests read them), the normalized names are aliases.
+    METRIC_NAMES = {
+        "wireless_in": "wireless_packets_in",
+        "encapsulated": "packets_encapsulated",
+        "local_deliveries": "packets_delivered",
+        "notifies_received": "map_notifies_received",
+    }
+
 
 class EdgeRouter:
     """One fabric edge: pipelines, map-cache, VRFs, onboarding, mobility."""
@@ -775,8 +785,11 @@ class EdgeRouter:
         each record is processed independently.
         """
         self.counters.notifies_received += 1
-        for record in notify.mapping_records:
-            self._apply_notify_record(record)
+        with self.sim.tracer.span("edge_map_notify", device=self,
+                                  parent=notify.trace_ctx,
+                                  records=notify.record_count):
+            for record in notify.mapping_records:
+                self._apply_notify_record(record)
 
     def _apply_notify_record(self, record):
         # Any notify can move an endpoint we hold decisions for (roam

@@ -34,6 +34,10 @@ class Endpoint:
         self.bytes_received = 0
         self.packets_sent = 0
         self.last_received_at = None
+        # Observability: trace context of the operator verb currently
+        # moving this endpoint (roam/associate); None when tracing is
+        # off or the endpoint is at rest.
+        self.trace_ctx = None
 
     @property
     def attached(self):

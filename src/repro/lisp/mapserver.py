@@ -94,6 +94,10 @@ class RoutingServer:
         #: optional hook ``(message, finish_time)`` fired after processing;
         #: the fig. 7 driver uses it to measure per-message response delay.
         self.on_processed = None
+        #: trace context of the message currently being processed; every
+        #: message _send()t from inside a handler inherits it, which is
+        #: how notifies/acks/replies/publishes join the caller's trace
+        self._active_ctx = None
         if underlay is not None:
             if rloc is None or node is None:
                 raise ConfigurationError("attached server needs rloc and node")
@@ -126,11 +130,32 @@ class RoutingServer:
         self._busy_until = finish
         self._queue_depth += 1
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue_depth)
-        self.sim.schedule(finish - now, self._complete, message, completion)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # The FIFO model knows both queue wait and service time at
+            # enqueue time — stamp them on the span up front.
+            span = tracer.span(
+                "mapserver." + message.kind, device=self,
+                parent=message.trace_ctx,
+                queue_wait_s=start - now, service_s=finish - start,
+                records=getattr(message, "record_count", 1),
+            )
+            self.sim.schedule(finish - now, self._complete, message,
+                              completion, span)
+        else:
+            self.sim.schedule(finish - now, self._complete, message, completion)
 
-    def _complete(self, message, completion):
+    def _complete(self, message, completion, span=None):
         self._queue_depth -= 1
-        completion(message)
+        if span is not None:
+            self._active_ctx = span.ctx
+            try:
+                completion(message)
+            finally:
+                self._active_ctx = None
+                span.finish()
+        else:
+            completion(message)
         if self.on_processed is not None:
             self.on_processed(message, self.sim.now)
 
@@ -154,6 +179,8 @@ class RoutingServer:
     def _send(self, dst_rloc, message):
         if self.underlay is None or dst_rloc is None:
             return
+        if self._active_ctx is not None:
+            message.trace_ctx = self._active_ctx
         self.underlay.send(self.rloc, dst_rloc, control_packet(self.rloc, dst_rloc, message))
 
     # -- message processing --------------------------------------------------------------

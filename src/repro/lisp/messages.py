@@ -31,14 +31,22 @@ def next_nonce():
 
 
 class ControlMessage:
-    """Base class: every message has a nonce for request/reply matching."""
+    """Base class: every message has a nonce for request/reply matching.
 
-    __slots__ = ("nonce",)
+    ``trace_ctx`` carries an optional observability trace context —
+    the ``(trace_id, span_id)`` of the span that emitted the message —
+    so a receiver can parent its own span causally (in-band telemetry,
+    like INT carries state in the packet itself).  ``None`` whenever
+    tracing is off; it never affects protocol behaviour or wire size.
+    """
+
+    __slots__ = ("nonce", "trace_ctx")
 
     kind = "control"
 
     def __init__(self, nonce=None):
         self.nonce = next_nonce() if nonce is None else nonce
+        self.trace_ctx = None
 
 
 class EidRecord:

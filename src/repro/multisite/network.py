@@ -384,7 +384,8 @@ class MultiSiteNetwork:
         foreign = self._foreign_site.pop(endpoint.identity, None)
         if foreign is not None and endpoint.ip is not None:
             self.transit_borders[foreign].announce_return(
-                endpoint.vn, endpoint.ip.to_prefix()
+                endpoint.vn, endpoint.ip.to_prefix(),
+                trace_parent=endpoint.trace_ctx,
             )
 
     def _after_attach(self, endpoint, site_index):
@@ -404,13 +405,14 @@ class MultiSiteNetwork:
             # Foreign attach: this site's border tells the home border.
             self._foreign_site[endpoint.identity] = site_index
             self.transit_borders[site_index].announce_away(
-                endpoint.vn, eid, group=endpoint.group, mac=endpoint.mac
+                endpoint.vn, eid, group=endpoint.group, mac=endpoint.mac,
+                trace_parent=endpoint.trace_ctx,
             )
         elif previous_foreign is not None:
             # Home again: the site it just left withdraws the anchor.
             del self._foreign_site[endpoint.identity]
             self.transit_borders[previous_foreign].announce_return(
-                endpoint.vn, eid
+                endpoint.vn, eid, trace_parent=endpoint.trace_ctx,
             )
 
     # ------------------------------------------------------------------ simulation control

@@ -127,3 +127,16 @@ class MegaflowCache:
         if self._entries:
             self._entries.clear()
         self.flushes += 1
+
+    def stats_dict(self):
+        """Hit/miss/invalidation-epoch stats for the metric registry.
+
+        ``flushes`` counts invalidation epochs: every flush starts a new
+        epoch in which all decisions are recomputed once.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushes": self.flushes,
+            "entries": len(self._entries),
+        }

@@ -1,0 +1,325 @@
+"""Simulation-time distributed tracing: spans over the simulated clock.
+
+The control plane of a single roam touches half a dozen devices — AP,
+WLC, policy server, routing servers, borders, foreign-site WLC — and
+every one of the races PR 3-5 fixed (stale roam-chain relays, the
+AwayRegister ordering guard, cancelled withdrawals) was a *causal*
+story: which message was queued when, behind what backlog, superseding
+which older attempt.  Aggregate counters cannot tell that story; spans
+can.
+
+Design rules (mirroring the fast-path knobs):
+
+* **zero-cost-when-off.**  A disabled tracer's :meth:`Tracer.span`
+  returns the module-level :data:`NULL_SPAN` singleton before touching
+  anything else; every span method on it is a no-op.  Devices therefore
+  instrument unconditionally and never branch on a flag themselves.
+* **sim-time, not wall-time.**  Spans are stamped with ``sim.now`` so a
+  trace is bit-reproducible for a fixed seed, and queue-wait vs service
+  time can be read straight off the span attributes.
+* **deterministic ids.**  Trace and span ids come from the tracer's own
+  monotonic counters (not :func:`repro.lisp.messages.next_nonce`, whose
+  consumption would perturb message nonces and break the obs-off
+  determinism contract).
+
+Export formats: JSON-lines (one span per line — the schema
+:mod:`repro.tools.check_trace` validates) and Chrome ``trace_event``
+JSON, loadable in Perfetto / ``chrome://tracing`` with one thread lane
+per device.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+
+def jsonable(value):
+    """Coerce a span/metric attribute to a JSON-serializable value.
+
+    Simulation objects (EndpointId, addresses, prefixes) stringify;
+    plain scalars pass through untouched.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out (one singleton).
+
+    ``ctx`` is ``None`` so tagging a message with a null span's context
+    (``message.trace_ctx = span.ctx``) writes the same default the
+    message was constructed with — no allocation, no branch needed at
+    the call site.
+    """
+
+    __slots__ = ()
+
+    ctx = None
+    finished = True
+
+    def set(self, **attrs):
+        return self
+
+    def finish(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def __repr__(self):
+        return "NullSpan()"
+
+
+#: The singleton every disabled tracer returns (asserted identical in tests).
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed operation on one device, causally linked to a trace.
+
+    ``ctx`` — the ``(trace_id, span_id)`` pair — is what propagates:
+    stashed on control messages (``message.trace_ctx``) and endpoints
+    (``endpoint.trace_ctx``) so work queued across simulation events can
+    parent itself correctly.
+    """
+
+    __slots__ = ("_tracer", "trace_id", "span_id", "parent_id", "name",
+                 "device", "start_s", "end_s", "attrs")
+
+    def __init__(self, tracer, trace_id, span_id, parent_id, name, device,
+                 start_s, attrs):
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.device = device
+        self.start_s = start_s
+        self.end_s = None
+        self.attrs = attrs
+
+    @property
+    def ctx(self):
+        """The propagatable trace context: ``(trace_id, span_id)``."""
+        return (self.trace_id, self.span_id)
+
+    @property
+    def finished(self):
+        return self.end_s is not None
+
+    def set(self, **attrs):
+        """Attach/overwrite span attributes."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, **attrs):
+        """Stamp the end time at ``sim.now`` (idempotent: first wins)."""
+        if attrs:
+            self.attrs.update(attrs)
+        if self.end_s is None:
+            sim = self._tracer.sim
+            self.end_s = sim.now if sim is not None else self.start_s
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.finish()
+        return False
+
+    def __repr__(self):
+        return "Span(%s on %s, trace=%d, [%g, %s])" % (
+            self.name, self.device, self.trace_id, self.start_s,
+            "open" if self.end_s is None else "%g" % self.end_s,
+        )
+
+
+class Tracer:
+    """Span factory + in-memory store + exporters.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel timestamps come from (``None`` only for
+        the shared disabled singleton).
+    enabled:
+        The flag every fast-path check reads.  When ``False``,
+        :meth:`span` returns :data:`NULL_SPAN` and nothing is stored.
+    max_spans:
+        Memory bound for long runs; spans past the cap are dropped (and
+        counted in :attr:`dropped`) rather than evicting older ones, so
+        early causality is never silently rewritten.
+    """
+
+    def __init__(self, sim=None, enabled=True, max_spans=None):
+        self.sim = sim
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans = []
+        self.dropped = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._devices = {}    # id(obj) -> registered display name
+
+    # ------------------------------------------------------------------ naming
+    def register_device(self, obj, name):
+        """Give a device object a stable display name (e.g. ``site0.wlc``).
+
+        Device objects rarely know their own site; the wiring layer
+        (:mod:`repro.obs.instrument`) registers fabric-scoped names so
+        spans from two sites' WLCs are distinguishable.  No-op when
+        disabled so the shared :data:`NULL_TRACER` never accumulates.
+        """
+        if self.enabled:
+            self._devices[id(obj)] = str(name)
+
+    def device_name(self, device):
+        """Resolve a span's ``device`` argument to a display string."""
+        if device is None:
+            return "-"
+        if isinstance(device, str):
+            return device
+        name = self._devices.get(id(device))
+        if name is not None:
+            return name
+        fallback = getattr(device, "name", None)
+        if fallback:
+            return str(fallback)
+        rloc = getattr(device, "rloc", None)
+        if rloc is not None:
+            return "%s@%s" % (type(device).__name__, rloc)
+        return type(device).__name__
+
+    # ------------------------------------------------------------------ spans
+    def span(self, name, device=None, parent=None, **attrs):
+        """Open a span; returns :data:`NULL_SPAN` when disabled.
+
+        ``parent`` may be another :class:`Span`, a propagated
+        ``(trace_id, span_id)`` context tuple, or ``None`` (roots a new
+        trace).  A ``None`` context read off an untagged message also
+        roots a new trace, so partial instrumentation degrades to
+        smaller traces rather than errors.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return NULL_SPAN
+        ctx = parent.ctx if isinstance(parent, Span) else parent
+        if ctx is None:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        else:
+            trace_id, parent_id = ctx
+        span = Span(self, trace_id, next(self._span_ids), parent_id,
+                    str(name), self.device_name(device),
+                    self.sim.now if self.sim is not None else 0.0, attrs)
+        self.spans.append(span)
+        return span
+
+    @staticmethod
+    def parent_of(message):
+        """The trace context a message carries (``None``-safe)."""
+        return getattr(message, "trace_ctx", None)
+
+    def traces(self):
+        """Spans grouped by trace id (insertion order preserved)."""
+        grouped = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    # ------------------------------------------------------------------ export
+    def to_dicts(self):
+        """All spans as JSON-safe dicts (the JSONL schema).
+
+        Open spans export with ``end_s == start_s`` and an
+        ``unfinished`` marker: a span can legitimately never finish
+        (e.g. a registration superseded mid-flight) and the export must
+        not invent a duration for it.
+        """
+        rows = []
+        for span in self.spans:
+            end_s = span.end_s
+            attrs = {key: jsonable(value)
+                     for key, value in span.attrs.items()}
+            if end_s is None:
+                end_s = span.start_s
+                attrs["unfinished"] = True
+            rows.append({
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "device": span.device,
+                "start_s": span.start_s,
+                "end_s": end_s,
+                "attrs": attrs,
+            })
+        return rows
+
+    def export_jsonl(self, path):
+        """Write one span per line; returns the number of spans written."""
+        rows = self.to_dicts()
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True))
+                handle.write("\n")
+        return len(rows)
+
+    def chrome_events(self):
+        """The spans as a Chrome ``trace_event`` object (Perfetto-loadable).
+
+        Each device gets its own thread lane (``tid`` plus a
+        ``thread_name`` metadata event); spans become complete (``"X"``)
+        events with microsecond timestamps, which is the unit the format
+        specifies.
+        """
+        events = []
+        tids = {}
+        for row in self.to_dicts():
+            tid = tids.get(row["device"])
+            if tid is None:
+                tid = tids[row["device"]] = len(tids) + 1
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                    "args": {"name": row["device"]},
+                })
+            args = dict(row["attrs"])
+            args["trace_id"] = row["trace_id"]
+            args["span_id"] = row["span_id"]
+            if row["parent_id"] is not None:
+                args["parent_id"] = row["parent_id"]
+            events.append({
+                "ph": "X",
+                "name": row["name"],
+                "cat": "sim",
+                "pid": 1,
+                "tid": tid,
+                "ts": row["start_s"] * 1e6,
+                "dur": (row["end_s"] - row["start_s"]) * 1e6,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path):
+        """Write the Chrome ``trace_event`` JSON file."""
+        payload = self.chrome_events()
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return len(payload["traceEvents"])
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return "Tracer(%s, spans=%d)" % (state, len(self.spans))
+
+
+#: Shared disabled tracer — the default on every Simulator, so device
+#: code can always call ``self.sim.tracer.span(...)`` unconditionally.
+NULL_TRACER = Tracer(sim=None, enabled=False)

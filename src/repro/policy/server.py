@@ -271,8 +271,17 @@ class PolicyServer:
         message = packet.payload
         if message.kind != AccessRequest.kind:
             raise PolicyError("policy server got %r" % message.kind)
-        self._cpu.submit(self._auth_service_time(message.identity),
-                         self._answer, message)
+        service_s = self._auth_service_time(message.identity)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "policy_auth", device=self, parent=message.trace_ctx,
+                identity=message.identity,
+                queue_wait_s=self._cpu.backlog_s, service_s=service_s,
+            )
+            self._cpu.submit(service_s, self._answer, message, span)
+        else:
+            self._cpu.submit(service_s, self._answer, message)
 
     def _auth_service_time(self, identity):
         """CPU charge for one auth: session resumption vs full exchange."""
@@ -284,10 +293,13 @@ class PolicyServer:
             self.auth_cache_misses += 1
         return self.auth_service_s + self._rng.uniform(0, self.service_jitter_s)
 
-    def _answer(self, request):
+    def _answer(self, request, span=None):
         result = self.authenticate(request.identity, request.secret,
                                    enforcement=request.enforcement)
         result.nonce = request.nonce
+        if span is not None:
+            result.trace_ctx = span.ctx
+            span.finish(accepted=result.accepted)
         if result.accepted:
             if self.session_cache:
                 self._auth_cache[EndpointId(request.identity)] = (

@@ -21,16 +21,22 @@ class Event:
     :meth:`repro.sim.Simulator.schedule`) rather than directly.  An event can
     be cancelled, which marks it dead in place; the queue skips dead events
     on pop (lazy deletion, the standard heapq idiom).
+
+    A *daemon* event (``daemon=True``) fires normally but does not count
+    as pending work: ``len(queue)`` and drain loops ignore it, so
+    periodic background tasks — the observability sampler, watchdogs —
+    never keep a "run until idle" simulation alive.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "daemon")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(self, time, seq, callback, args, daemon=False):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.daemon = daemon
 
     def cancel(self):
         """Mark the event so it will be skipped when its time comes."""
@@ -46,6 +52,8 @@ class Event:
 
     def __repr__(self):
         state = "cancelled" if self.cancelled else "pending"
+        if self.daemon:
+            state += ", daemon"
         return "Event(t=%r, seq=%d, %s)" % (self.time, self.seq, state)
 
 
@@ -58,17 +66,24 @@ class EventQueue:
     Long-running workloads that cancel at scale — every stopped flow
     generator, every superseded timer — would otherwise keep pushing
     dead weight through every sift.
+
+    ``compactions`` / ``tombstones_reaped`` count how often that pass
+    ran and how many dead entries it removed over the queue's lifetime.
     """
 
     #: below this many tombstones, compaction costs more than it saves
     COMPACT_FLOOR = 64
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_counter", "_live", "_daemons",
+                 "compactions", "tombstones_reaped")
 
     def __init__(self):
         self._heap = []
         self._counter = itertools.count()
         self._live = 0
+        self._daemons = 0
+        self.compactions = 0
+        self.tombstones_reaped = 0
 
     def __len__(self):
         return self._live
@@ -76,14 +91,19 @@ class EventQueue:
     def __bool__(self):
         return self._live > 0
 
-    def push(self, time, callback, args=()):
+    def push(self, time, callback, args=(), daemon=False):
         """Schedule ``callback(*args)`` at simulated ``time``.
 
         Returns the :class:`Event` so the caller may cancel it later.
+        Daemon events fire like any other but are excluded from
+        ``len()`` / truthiness, so they never hold a drain loop open.
         """
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, daemon)
         heapq.heappush(self._heap, event)
-        self._live += 1
+        if daemon:
+            self._daemons += 1
+        else:
+            self._live += 1
         return event
 
     def pop(self):
@@ -95,7 +115,10 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._live -= 1
+            if event.daemon:
+                self._daemons -= 1
+            else:
+                self._live -= 1
             return event
         raise SimulationError("pop from empty event queue")
 
@@ -103,8 +126,11 @@ class EventQueue:
         """Cancel a previously pushed event (idempotent)."""
         if not event.cancelled:
             event.cancel()
-            self._live -= 1
-            dead = len(self._heap) - self._live
+            if event.daemon:
+                self._daemons -= 1
+            else:
+                self._live -= 1
+            dead = len(self._heap) - self._live - self._daemons
             if dead > self.COMPACT_FLOOR and dead > self._live:
                 self.compact()
 
@@ -115,13 +141,23 @@ class EventQueue:
         the pop order lazy deletion would have produced — sequence
         numbers are unique, so the ordering is total.
         """
+        before = len(self._heap)
         self._heap = [event for event in self._heap if not event.cancelled]
         heapq.heapify(self._heap)
+        reaped = before - len(self._heap)
+        if reaped:
+            self.compactions += 1
+            self.tombstones_reaped += reaped
 
     @property
     def tombstones(self):
         """Dead entries currently buried in the heap (introspection)."""
-        return len(self._heap) - self._live
+        return len(self._heap) - self._live - self._daemons
+
+    @property
+    def daemons(self):
+        """Live daemon events queued (excluded from ``len()``)."""
+        return self._daemons
 
     def peek_time(self):
         """Return the time of the earliest live event, or ``None``."""

@@ -12,6 +12,11 @@ Design notes
 * A trace hook receives ``(time, category, message)`` tuples; experiments
   use it to capture protocol-level happenings without coupling modules to
   any logging backend.
+* Observability handles live on the simulator: ``sim.tracer`` is the
+  span factory every instrumented device reads (the shared disabled
+  :data:`repro.obs.trace.NULL_TRACER` by default, so the off path costs
+  one attribute read), and ``sim.metrics`` is the optional
+  :class:`repro.obs.metrics.MetricRegistry` (``None`` by default).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 from heapq import heappop
 
 from repro.core.errors import SimulationError
+from repro.obs.trace import NULL_TRACER
 from repro.sim.events import EventQueue
 
 
@@ -38,6 +44,11 @@ class Simulator:
         self._running = False
         self._trace = trace
         self.events_processed = 0
+        #: span factory read by instrumented devices; swapped in by
+        #: :class:`repro.obs.Observability`, disabled singleton otherwise
+        self.tracer = NULL_TRACER
+        #: optional MetricRegistry (None unless observability is on)
+        self.metrics = None
 
     @property
     def now(self):
@@ -46,7 +57,7 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of live (non-cancelled) events still queued."""
+        """Number of live (non-cancelled, non-daemon) events still queued."""
         return len(self._queue)
 
     def schedule(self, delay, callback, *args):
@@ -67,11 +78,24 @@ class Simulator:
             )
         return self._queue.push(time, callback, args)
 
+    def schedule_daemon(self, delay, callback, *args):
+        """Schedule a background event that does not count as pending work.
+
+        Daemon events (the observability sampler, periodic watchdogs)
+        fire in time order like any other, but ``pending`` ignores them
+        and ``run()``/``settle()``-style drain loops stop as soon as
+        only daemons remain — a self-rescheduling sampler can therefore
+        never wedge the simulation open.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
+        return self._queue.push(self._now + delay, callback, args, daemon=True)
+
     def cancel(self, event):
         """Cancel a scheduled event (safe to call twice)."""
         self._queue.cancel(event)
 
-    def run(self, until=None, max_events=None):
+    def run(self, until=None, max_events=None, profile=None):
         """Process events in time order.
 
         Parameters
@@ -79,14 +103,21 @@ class Simulator:
         until:
             Stop once the next event would be strictly later than this
             time, and advance the clock to exactly ``until``.  ``None``
-            runs to queue exhaustion.
+            runs until no non-daemon work remains.
         max_events:
             Safety valve: stop after this many events (``None`` = no cap).
+        profile:
+            Optional :class:`repro.obs.profile.EventProfile`; when given,
+            every callback is timed and the per-event-type breakdown
+            accumulates into it (slower loop — keep off for benches
+            unless the breakdown is the point).
 
         Returns the number of events processed during this call.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
+        if profile is not None:
+            return self._run_profiled(profile, until, max_events)
         self._running = True
         processed = 0
         # The inner loop runs once per simulated event — by far the
@@ -103,12 +134,18 @@ class Simulator:
                 if event.cancelled:
                     heappop(heap)
                     continue
-                if until is not None and event.time > until:
-                    break
+                if until is not None:
+                    if event.time > until:
+                        break
+                elif queue._live == 0:
+                    break     # only daemons remain: the run is done
                 if max_events is not None and processed >= max_events:
                     break
                 heappop(heap)
-                queue._live -= 1
+                if event.daemon:
+                    queue._daemons -= 1
+                else:
+                    queue._live -= 1
                 self._now = event.time
                 event.callback(*event.args)
                 processed += 1
@@ -120,8 +157,51 @@ class Simulator:
         self.events_processed += processed
         return processed
 
+    def _run_profiled(self, profile, until, max_events):
+        """The :meth:`run` loop with per-callback wall-clock timing."""
+        self._running = True
+        processed = 0
+        queue = self._queue
+        heap = queue._heap
+        clock = profile.clock
+        try:
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None:
+                    if event.time > until:
+                        break
+                elif queue._live == 0:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heappop(heap)
+                if event.daemon:
+                    queue._daemons -= 1
+                else:
+                    queue._live -= 1
+                advance = event.time - self._now
+                self._now = event.time
+                started = clock()
+                event.callback(*event.args)
+                profile.record(event.callback, clock() - started, advance)
+                processed += 1
+                heap = queue._heap
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        self.events_processed += processed
+        return processed
+
     def step(self):
-        """Process exactly one event; return False if the queue was empty."""
+        """Process exactly one event; return False if the queue was empty.
+
+        "Empty" means no non-daemon work: a queue holding only daemon
+        events (e.g. an armed metrics sampler) reports done.
+        """
         if not self._queue:
             return False
         event = self._queue.pop()

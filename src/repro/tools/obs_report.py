@@ -1,0 +1,159 @@
+"""Run an instrumented scenario and export every observability artifact.
+
+This is the CI ``obs-smoke`` driver and the quickest way to get a trace
+you can open in Perfetto.  It builds one of the canonical wireless
+workloads with the full observability bundle enabled — tracing, the
+metric registry with a periodic sampler, and the profiled event loop —
+runs it, and writes four artifacts into ``--out-dir``:
+
+* ``<scenario>_trace.jsonl`` — one span per line (feed to
+  ``repro.tools.check_trace``);
+* ``<scenario>_trace_chrome.json`` — Chrome ``trace_event`` JSON (open
+  at https://ui.perfetto.dev or ``chrome://tracing``);
+* ``<scenario>_metrics.jsonl`` — periodic metric snapshots, one per
+  line, plus a final end-of-run sample;
+* ``<scenario>_profile.json`` — per-event-type count / wall-clock /
+  sim-time-advance breakdown of the run loop.
+
+Usage::
+
+    python -m repro.tools.obs_report --run wireless --out-dir obs-out
+    python -m repro.tools.obs_report --run intersite --out-dir obs-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro import obs
+from repro.obs.profile import EventProfile
+from repro.workloads.distributed_wireless_campus import (
+    DistributedWirelessCampusProfile,
+    DistributedWirelessCampusWorkload,
+)
+from repro.workloads.wireless_campus import (
+    WirelessCampusProfile,
+    WirelessCampusWorkload,
+)
+
+
+def _attach_profile(sim, profile):
+    """Route every ``sim.run`` call through the profiled loop.
+
+    The workloads drive ``sim.run`` themselves (bring-up settles, the
+    steady-state window, the final drain), so the tool injects the
+    profile at the instance level rather than threading a parameter
+    through every workload entry point.
+    """
+    bound = sim.run
+
+    def run(until=None, max_events=None, **kwargs):
+        kwargs.setdefault("profile", profile)
+        return bound(until, max_events, **kwargs)
+
+    sim.run = run
+
+
+def build_wireless(seed=17):
+    """Single-site campus: 12 stations walking across 4 edges."""
+    return WirelessCampusWorkload(
+        WirelessCampusProfile(
+            stations=12,
+            num_edges=4,
+            dwell_mean_s=10.0,
+            flow_interval_s=2.0,
+        ),
+        seed=seed,
+    )
+
+
+def build_intersite(seed=17):
+    """Two-site fabric with 40% of roams crossing the transit."""
+    return DistributedWirelessCampusWorkload(
+        DistributedWirelessCampusProfile(
+            num_sites=2,
+            stations_per_site=5,
+            dwell_mean_s=10.0,
+            intersite_roam_fraction=0.4,
+            flow_interval_s=2.0,
+        ),
+        seed=seed,
+    )
+
+
+SCENARIOS = {"wireless": build_wireless, "intersite": build_intersite}
+
+
+def run_scenario(name, duration_s, out_dir, sample_interval_s=1.0, seed=17):
+    """Build, instrument, run, export.  Returns the artifact paths."""
+    workload = SCENARIOS[name](seed=seed)
+    sim = workload.net.sim if hasattr(workload, "net") else workload.fabric.sim
+    bundle = obs.enable(
+        workload,
+        tracing=True,
+        metrics=True,
+        sample_interval_s=sample_interval_s,
+    )
+    profile = EventProfile()
+    _attach_profile(sim, profile)
+
+    workload.run(duration_s=duration_s)
+    bundle.metrics.stop()
+    bundle.metrics.sample()  # end-of-run snapshot after the final drain
+
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "trace": os.path.join(out_dir, "%s_trace.jsonl" % name),
+        "chrome": os.path.join(out_dir, "%s_trace_chrome.json" % name),
+        "metrics": os.path.join(out_dir, "%s_metrics.jsonl" % name),
+        "profile": os.path.join(out_dir, "%s_profile.json" % name),
+    }
+    span_count = bundle.tracer.export_jsonl(paths["trace"])
+    bundle.tracer.export_chrome(paths["chrome"])
+    sample_count = bundle.metrics.export_jsonl(paths["metrics"])
+    with open(paths["profile"], "w") as handle:
+        json.dump(profile.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print("scenario       %s (seed=%d, duration=%gs)" % (name, seed, duration_s))
+    print(
+        "spans          %d in %d traces (%d dropped)"
+        % (span_count, len(bundle.tracer.traces()), bundle.tracer.dropped)
+    )
+    print("metric samples %d" % sample_count)
+    print("events         %d" % sim.events_processed)
+    print()
+    print(profile.report(top=10))
+    for key in ("trace", "chrome", "metrics", "profile"):
+        print("wrote %s" % paths[key])
+    return paths
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run", choices=sorted(SCENARIOS), required=True)
+    parser.add_argument("--out-dir", default="obs-artifacts")
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="metric snapshot period in simulated seconds",
+    )
+    args = parser.parse_args(argv)
+    run_scenario(
+        args.run,
+        duration_s=args.duration,
+        out_dir=args.out_dir,
+        sample_interval_s=args.sample_interval,
+        seed=args.seed,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

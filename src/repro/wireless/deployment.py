@@ -22,6 +22,24 @@ _RLOC_WLC = "192.168.255.30"
 _AP_ADDRESS_BASE = 0xC0A88001
 
 
+def _finish_root(span, on_complete):
+    """Close a roam/associate root span when the onboarding completes.
+
+    Root spans are finished through the completion callback (not a
+    context manager) because onboarding is asynchronous: the verb
+    returns immediately and the flow ends events later at the WLC.
+    Superseded onboardings whose callback never fires leave the span
+    open; export marks it ``unfinished``.
+    """
+
+    def _done(station, accepted):
+        span.finish(accepted=accepted)
+        if on_complete is not None:
+            on_complete(station, accepted)
+
+    return _done
+
+
 class WirelessConfig:
     """Knobs for the wireless overlay (paper-flavoured defaults)."""
 
@@ -83,12 +101,19 @@ class WirelessFabric:
 
     def associate(self, station, ap, on_complete=None):
         """Bring a station onto an AP's radio (onboarding runs async)."""
-        self._resolve_ap(ap).associate(station, on_complete=on_complete)
+        ap = self._resolve_ap(ap)
+        tracer = self.net.sim.tracer
+        if tracer.enabled:
+            span = tracer.span("wireless_associate", device="wireless",
+                               station=station.identity, ap=ap.name)
+            station.trace_ctx = span.ctx
+            on_complete = _finish_root(span, on_complete)
+        ap.associate(station, on_complete=on_complete)
 
     def roam(self, station, new_ap, on_complete=None):
         """Move a station to another AP — the same verb as associate;
         the WLC works out whether location state must move."""
-        self._resolve_ap(new_ap).associate(station, on_complete=on_complete)
+        self.associate(station, new_ap, on_complete=on_complete)
 
     def disassociate(self, station):
         """Radio off: the WLC withdraws the station's registration."""
@@ -188,6 +213,17 @@ class MultiSiteWireless:
         """
         ap = self._resolve_ap(ap)
         site_index = self._ap_site[ap]
+        # Root the whole flow — departed-site withdrawal, foreign-site
+        # onboarding, away signaling — in one span *before* the
+        # handoff_out loop, so every leg parents on the same trace.
+        tracer = self.net.sim.tracer
+        on_complete = self.net.attach_completion(site_index, on_complete)
+        if tracer.enabled:
+            span = tracer.span("wireless_roam", device="fabric",
+                               station=station.identity, ap=ap.name,
+                               target_site=site_index)
+            station.trace_ctx = span.ctx
+            on_complete = _finish_root(span, on_complete)
         # Withdraw from every *other* site whose control plane still has
         # the station registered.  This is keyed on the WLCs' own
         # records, not the facade's location bookkeeping: a disassociate
@@ -200,10 +236,7 @@ class MultiSiteWireless:
                 continue
             if wireless.wlc.registered_edge(station) is not None:
                 wireless.wlc.handoff_out(station)
-        ap.associate(
-            station,
-            on_complete=self.net.attach_completion(site_index, on_complete),
-        )
+        ap.associate(station, on_complete=on_complete)
 
     def roam(self, station, new_ap, on_complete=None):
         """Same verb as associate — the facade and the WLCs work out

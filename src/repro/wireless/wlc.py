@@ -113,6 +113,9 @@ class FabricWlc:
         self.register_flush_s = register_flush_s
         self._batchers = {}       # server rloc -> Batcher of EidRecord
         self._batch_nonce = {}    # server rloc -> nonce of the open batch
+        #: observability hook: Histogram wired onto every Batcher this
+        #: WLC creates (None = off; see repro.obs.instrument)
+        self.batch_flush_hist = None
         self.stats = FabricWlcStats()
         #: registration-completion delay samples (radio association to
         #: the routing server's ack), for the roam-storm benches
@@ -157,6 +160,12 @@ class FabricWlc:
     def _process_association(self, station, ap, previous_ap, t0, on_complete):
         if station.ap is not ap:
             return  # moved again (or left) while queued
+        span = self.sim.tracer.span(
+            "wlc_associate", device=self,
+            parent=getattr(station, "trace_ctx", None),
+            station=station.identity, ap=ap.name,
+            queue_wait_s=self.sim.now - t0,
+        )
         if previous_ap is not None:
             self.stats.roams += 1
         else:
@@ -167,6 +176,7 @@ class FabricWlc:
             # registered RLOC, the VRF entry and the rules — are all
             # unchanged.  No auth, no registration, no notify.
             self.stats.intra_edge_roams += 1
+            span.finish(outcome="intra_edge")
             if on_complete is not None:
                 on_complete(station, True)
             return
@@ -174,8 +184,9 @@ class FabricWlc:
             station.identity, station.secret, reply_to=self.rloc,
             enforcement=ap.edge.enforcement, session_rloc=ap.edge.rloc,
         )
+        request.trace_ctx = span.ctx
         self._pending_auth[request.nonce] = (
-            station, ap, previous_ap, t0, on_complete
+            station, ap, previous_ap, t0, on_complete, span
         )
         self.stats.auth_requests += 1
         self._send(self.policy_server_rloc, request)
@@ -184,8 +195,9 @@ class FabricWlc:
         pending = self._pending_auth.pop(result.nonce, None)
         if pending is None:
             return
-        station, ap, previous_ap, t0, on_complete = pending
+        station, ap, previous_ap, t0, on_complete, span = pending
         if station.ap is not ap:
+            span.finish(outcome="superseded")
             return  # roamed again mid-auth; the newer association wins
         if not result.accepted:
             self.stats.auth_rejects += 1
@@ -195,7 +207,8 @@ class FabricWlc:
             # onboarded (a roam re-auth), its old registration and VRF
             # entry must be withdrawn or peers would blackhole into the
             # previous edge forever.
-            self._withdraw(station)
+            self._withdraw(station, reason="auth_reject", parent=span.ctx)
+            span.finish(outcome="rejected")
             if on_complete is not None:
                 on_complete(station, False)
             return
@@ -231,15 +244,26 @@ class FabricWlc:
         stale.discard(ap.edge.rloc)
         if registered_prev is not None:
             stale.discard(registered_prev.rloc)
-        self._register_station(station, ap.edge.rloc, mobility, stale, t0)
+        self._register_station(station, ap.edge.rloc, mobility, stale, t0,
+                               parent_ctx=span.ctx)
+        span.finish(outcome="registered")
         if on_complete is not None:
             on_complete(station, True)
 
-    def _register_station(self, station, edge_rloc, mobility, stale_rlocs, t0):
+    def _register_station(self, station, edge_rloc, mobility, stale_rlocs,
+                          t0, parent_ctx=None):
         stale = tuple(sorted(stale_rlocs, key=int))
+        # One registration-cycle span per station; it stays open until
+        # the routing server's ack lands (see _on_register_ack), so its
+        # duration *is* the registration half of the roam delay.
+        reg_span = self.sim.tracer.span(
+            "wlc_register", device=self, parent=parent_ctx,
+            station=station.identity, mobility=mobility,
+            stale_edges=len(stale),
+        )
         if self.batching:
             self._register_station_batched(
-                station, edge_rloc, mobility, stale, t0
+                station, edge_rloc, mobility, stale, t0, reg_span
             )
             return
         for eid in self._station_eids(station):
@@ -254,6 +278,7 @@ class FabricWlc:
                     mobility=mobility,
                     registrar_rloc=self.rloc if ack else None,
                 )
+                register.trace_ctx = reg_span.ctx
                 if ack:
                     # The register's nonce identifies this registration
                     # instance; the server echoes it in the ack, so a
@@ -262,7 +287,7 @@ class FabricWlc:
                     # cannot complete the newer one.
                     self._pending_register[(int(station.vn), eid)] = (
                         station, stale, t0, eid.family == "ipv4",
-                        register.nonce,
+                        register.nonce, reg_span,
                     )
                 self.stats.registers_sent += 1
                 self._send(server_rloc, register)
@@ -270,7 +295,7 @@ class FabricWlc:
 
     # ------------------------------------------------------------------ batched fast path
     def _register_station_batched(self, station, edge_rloc, mobility,
-                                  stale, t0):
+                                  stale, t0, reg_span):
         ack_server = self.register_rlocs[0]
         for server_rloc in self.register_rlocs:
             for eid in self._station_eids(station):
@@ -284,9 +309,12 @@ class FabricWlc:
                 if server_rloc == ack_server:
                     # Same instance-pinning contract as the unbatched
                     # path, with the *batch* nonce standing in for the
-                    # per-message one.
+                    # per-message one.  (The flushed batch message mixes
+                    # stations, so it carries no single trace context;
+                    # the per-station reg_span still closes on its ack.)
                     self._pending_register[(int(station.vn), eid)] = (
                         station, stale, t0, eid.family == "ipv4", nonce,
+                        reg_span,
                     )
 
     def _submit_record(self, server_rloc, record):
@@ -304,6 +332,7 @@ class FabricWlc:
                     self._flush_registers(rloc, records),
                 window_s=self.register_flush_s,
             )
+            batcher.flush_hist = self.batch_flush_hist
             self._batchers[server_rloc] = batcher
         if batcher.pending == 0:
             self._batch_nonce[server_rloc] = next_nonce()
@@ -343,7 +372,7 @@ class FabricWlc:
             pending = self._pending_register.get(key)
             if pending is None:
                 continue  # duplicate ack (multi-server fan-out) or stale
-            station, stale_rlocs, t0, is_completion, nonce = pending
+            station, stale_rlocs, t0, is_completion, nonce, reg_span = pending
             if notify.nonce != nonce:
                 continue  # ack for a superseded registration instance
             if station.edge is None or record.rloc != station.edge.rloc:
@@ -353,6 +382,7 @@ class FabricWlc:
                 continue
             del self._pending_register[key]
             self.stats.registrar_acks_received += 1
+            reg_span.finish(outcome="acked")
             for rloc in stale_rlocs:
                 self.stats.stale_edge_notifies += 1
                 relays.setdefault(rloc, []).append(record.copy())
@@ -363,6 +393,7 @@ class FabricWlc:
                 relay = MapNotify(records[0].vn, records[0].eid, records[0])
             else:
                 relay = MapNotify(records=records)
+            relay.trace_ctx = notify.trace_ctx
             self._send(rloc, relay)
         for station, delay in completions:
             self.registration_delays.append(delay)
@@ -383,7 +414,7 @@ class FabricWlc:
         if station.ap is not None:
             return  # re-associated while queued; the association wins
         self.stats.disassociations += 1
-        self._withdraw(station)
+        self._withdraw(station, reason="disassociate")
 
     # ------------------------------------------------------------------ cross-site handoff
     def registered_edge(self, station):
@@ -421,9 +452,12 @@ class FabricWlc:
         if self._registered_edge.get(station.identity) is None:
             return  # never registered here (or already withdrawn)
         self.stats.handoffs_out += 1
-        self._withdraw(station)
+        # The departed-site withdrawal is causally part of the roam that
+        # displaced the station — parent it on the roam's root span.
+        self._withdraw(station, reason="handoff_out",
+                       parent=getattr(station, "trace_ctx", None))
 
-    def _withdraw(self, station):
+    def _withdraw(self, station, reason="withdraw", parent=None):
         """Remove every trace of a station's location registration.
 
         Withdrawal works from the registrar's own ``_registered_edge``
@@ -434,6 +468,10 @@ class FabricWlc:
         edge = self._registered_edge.pop(station.identity, None)
         if edge is None or station.vn is None:
             return  # never finished onboarding; nothing registered
+        span = self.sim.tracer.span(
+            "wlc_withdraw", device=self, parent=parent,
+            station=station.identity, reason=reason,
+        )
         edge.remove_wireless_endpoint(station)
         for eid in self._station_eids(station):
             self._pending_register.pop((int(station.vn), eid), None)
@@ -448,8 +486,10 @@ class FabricWlc:
                         EidRecord(station.vn, eid, edge.rloc, withdraw=True),
                     )
                 else:
-                    self._send(server_rloc,
-                               MapUnregister(station.vn, eid, edge.rloc))
+                    unregister = MapUnregister(station.vn, eid, edge.rloc)
+                    unregister.trace_ctx = span.ctx
+                    self._send(server_rloc, unregister)
+        span.finish()
         # The roam history is deliberately *kept*: edges visited before
         # the withdrawal still hold notify-installed cache entries, and
         # only the next registration's relay can refresh them (there is

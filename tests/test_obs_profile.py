@@ -1,0 +1,80 @@
+"""Unit tests for the profiled event loop (repro.obs.profile)."""
+
+import itertools
+
+from repro.obs.profile import EventProfile
+from repro.sim.simulator import Simulator
+
+
+def _fake_clock():
+    # Deterministic perf_counter: each call advances 1 ms.
+    ticks = itertools.count()
+    return lambda: next(ticks) * 0.001
+
+
+def test_profiled_run_counts_every_event():
+    sim = Simulator()
+    profile = EventProfile(clock=_fake_clock())
+    fired = []
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, fired.append, delay)
+    processed = sim.run(profile=profile)
+    assert processed == 3
+    assert fired == [1.0, 2.0, 3.0]
+    assert profile.events == sim.events_processed == 3
+    # All three callbacks are the same bound method -> one row.
+    (key,) = profile.by_type
+    assert "append" in key
+    assert profile.by_type[key][0] == 3
+
+
+def test_profile_records_wall_and_sim_advance():
+    sim = Simulator()
+    profile = EventProfile(clock=_fake_clock())
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    sim.run(profile=profile)
+    # Each callback is bracketed by two clock reads 1 ms apart.
+    assert profile.wall_s == 0.002
+    # Sim advance: 0 -> 2 -> 5.
+    assert profile.sim_advance_s == 5.0
+
+
+def test_profiled_run_respects_until_and_resumes():
+    sim = Simulator()
+    profile = EventProfile(clock=_fake_clock())
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    assert sim.run(until=5.0, profile=profile) == 1
+    assert sim.now == 5.0
+    assert sim.run(profile=profile) == 1
+    assert fired == ["a", "b"]
+    assert profile.events == 2
+
+
+def test_summary_sorts_by_wall_cost_and_caps_rows():
+    profile = EventProfile(clock=_fake_clock())
+
+    def cheap():
+        pass
+
+    def costly():
+        pass
+
+    profile.record(cheap, 0.001, 1.0)
+    profile.record(costly, 0.010, 2.0)
+    rows = profile.summary()
+    assert [row["event"] for row in rows][0].endswith("costly")
+    assert rows[0]["wall_share"] > rows[1]["wall_share"]
+    assert len(profile.summary(top=1)) == 1
+    as_dict = profile.as_dict(top=1)
+    assert as_dict["events"] == 2
+    assert len(as_dict["by_type"]) == 1
+
+
+def test_unprofiled_run_pays_no_profile_cost():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.run() == 1
+    assert sim.run(profile=None, until=2.0) == 0

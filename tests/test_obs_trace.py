@@ -1,0 +1,189 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+import json
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer, jsonable
+from repro.sim.simulator import Simulator
+from repro.tools import check_trace
+
+
+def _tracer():
+    sim = Simulator()
+    return sim, Tracer(sim, enabled=True)
+
+
+# ---------------------------------------------------------------------- off mode
+def test_disabled_tracer_returns_the_null_span_singleton():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    a = tracer.span("anything", device="x", why="ignored")
+    b = tracer.span("other")
+    # Identity, not equality: the off path must not allocate per span.
+    assert a is NULL_SPAN and b is NULL_SPAN
+    assert tracer.spans == []
+
+
+def test_null_span_is_inert():
+    span = NULL_SPAN
+    assert span.ctx is None
+    assert span.finished
+    assert span.set(x=1) is span
+    assert span.finish(outcome="whatever") is span
+    with span as inner:
+        assert inner is span
+
+
+def test_simulator_default_tracer_is_the_shared_disabled_singleton():
+    sim = Simulator()
+    assert sim.tracer is NULL_TRACER
+    assert not sim.tracer.enabled
+    assert sim.tracer.span("x") is NULL_SPAN
+
+
+def test_register_device_on_disabled_tracer_is_a_noop():
+    tracer = Tracer(enabled=False)
+    tracer.register_device(object(), "site0.wlc")
+    assert tracer._devices == {}
+
+
+# ---------------------------------------------------------------------- spans
+def test_span_times_come_from_the_sim_clock():
+    sim, tracer = _tracer()
+    outer = tracer.span("op", device="dev")
+    sim.schedule(2.5, outer.finish)
+    sim.run()
+    assert outer.start_s == 0.0
+    assert outer.end_s == 2.5
+    assert outer.finished
+
+
+def test_finish_is_idempotent_first_timestamp_wins():
+    sim, tracer = _tracer()
+    span = tracer.span("op")
+    sim.schedule(1.0, span.finish)
+    sim.schedule(2.0, span.finish)
+    sim.run()
+    assert span.end_s == 1.0
+
+
+def test_child_spans_nest_into_one_trace():
+    sim, tracer = _tracer()
+    root = tracer.span("root", device="a")
+    child = tracer.span("child", device="b", parent=root)
+    grandchild = tracer.span("leaf", device="c", parent=child)
+    assert child.trace_id == root.trace_id == grandchild.trace_id
+    assert child.parent_id == root.span_id
+    assert grandchild.parent_id == child.span_id
+    # Unrelated spans root fresh traces.
+    other = tracer.span("other")
+    assert other.trace_id != root.trace_id
+    assert other.parent_id is None
+
+
+def test_ctx_tuple_propagates_across_queued_events():
+    """The cross-event pattern: stash span.ctx on a message, parent on it."""
+    sim, tracer = _tracer()
+    collected = []
+
+    def handle(ctx):
+        # A later event parents its span on the propagated context.
+        span = tracer.span("handler", device="remote", parent=ctx)
+        span.finish()
+        collected.append(span)
+
+    root = tracer.span("request", device="local")
+    sim.schedule(1.0, handle, root.ctx)
+    sim.run()
+    root.finish()
+    (handler,) = collected
+    assert handler.trace_id == root.trace_id
+    assert handler.parent_id == root.span_id
+    assert handler.start_s == 1.0
+
+
+def test_none_parent_ctx_roots_a_new_trace():
+    _, tracer = _tracer()
+    span = tracer.span("orphan", parent=None)
+    assert span.parent_id is None
+    assert tracer.parent_of(object()) is None
+
+
+def test_context_manager_finishes_span():
+    sim, tracer = _tracer()
+    with tracer.span("scoped", device="dev", k="v") as span:
+        assert not span.finished
+    assert span.finished
+    assert span.attrs["k"] == "v"
+
+
+def test_max_spans_drops_instead_of_evicting():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True, max_spans=2)
+    first = tracer.span("a")
+    second = tracer.span("b")
+    third = tracer.span("c")
+    assert third is NULL_SPAN
+    assert tracer.dropped == 1
+    assert tracer.spans == [first, second]
+
+
+def test_device_name_resolution_precedence():
+    sim, tracer = _tracer()
+
+    class Dev:
+        name = "edge7"
+
+    dev = Dev()
+    assert tracer.device_name("literal") == "literal"
+    assert tracer.device_name(None) == "-"
+    assert tracer.device_name(dev) == "edge7"
+    tracer.register_device(dev, "site1.edge7")
+    assert tracer.device_name(dev) == "site1.edge7"
+
+
+# ---------------------------------------------------------------------- export
+def test_jsonable_coerces_sim_objects():
+    assert jsonable(3) == 3 and jsonable(None) is None
+    assert jsonable(True) is True
+
+    class Eid:
+        def __str__(self):
+            return "10.0.0.1"
+
+    assert jsonable(Eid()) == "10.0.0.1"
+
+
+def test_unfinished_spans_export_with_marker(tmp_path):
+    sim, tracer = _tracer()
+    tracer.span("never-finished", device="dev")
+    (row,) = tracer.to_dicts()
+    assert row["end_s"] == row["start_s"]
+    assert row["attrs"]["unfinished"] is True
+
+
+def test_jsonl_export_passes_the_schema_checker(tmp_path):
+    sim, tracer = _tracer()
+    root = tracer.span("root", device="site0.wlc")
+    child = tracer.span("child", device="site1.wlc", parent=root.ctx)
+    sim.schedule(1.0, child.finish)
+    sim.schedule(2.0, root.finish)
+    sim.run()
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(str(path)) == 2
+    rows, problems = check_trace.load_jsonl(str(path))
+    assert problems == []
+    assert check_trace.check_spans(rows) == []
+    assert check_trace.site_count(rows) == 2
+
+
+def test_chrome_export_is_perfetto_shaped(tmp_path):
+    sim, tracer = _tracer()
+    with tracer.span("op", device="wlc"):
+        pass
+    path = tmp_path / "trace_chrome.json"
+    tracer.export_chrome(str(path))
+    assert check_trace.check_chrome(str(path)) == []
+    payload = json.loads(path.read_text())
+    names = [e["name"] for e in payload["traceEvents"]]
+    assert names == ["thread_name", "op"]
+    assert payload["displayTimeUnit"] == "ms"

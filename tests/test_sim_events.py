@@ -92,6 +92,11 @@ def test_cancel_storm_compacts_tombstones():
     # heap; compaction keeps tombstones bounded by the live population.
     assert len(queue) == 100
     assert queue.tombstones <= max(EventQueue.COMPACT_FLOOR, len(queue))
+    # The storm must actually have triggered the compactor, and the
+    # telemetry counters must account for the reaped tombstones.
+    assert queue.compactions >= 1
+    assert queue.tombstones_reaped > 0
+    assert queue.tombstones_reaped >= 900 - queue.tombstones
 
 
 def test_compaction_preserves_pop_order():
@@ -118,3 +123,27 @@ def test_compact_below_floor_is_harmless():
     queue.compact()
     assert len(queue) == 1 and queue.tombstones == 0
     assert queue.pop() is keep
+
+
+def test_daemon_events_do_not_count_as_pending():
+    queue = EventQueue()
+    daemon = queue.push(1.0, lambda: None, daemon=True)
+    assert len(queue) == 0 and not queue
+    assert queue.daemons == 1
+    live = queue.push(2.0, lambda: None)
+    assert len(queue) == 1 and bool(queue)
+    # Daemons still fire in time order like any other event.
+    assert queue.pop() is daemon
+    assert queue.daemons == 0
+    assert queue.pop() is live
+
+
+def test_cancel_daemon_keeps_tombstone_accounting():
+    queue = EventQueue()
+    daemon = queue.push(1.0, lambda: None, daemon=True)
+    queue.push(2.0, lambda: None)
+    queue.cancel(daemon)
+    # The cancelled daemon is a tombstone, not a live or daemon entry.
+    assert queue.daemons == 0
+    assert len(queue) == 1
+    assert queue.tombstones == 1
