@@ -1,0 +1,41 @@
+"""Chaos suite: deterministic fault injection + healing guarantees.
+
+The robustness counterpart of the repo's performance story.  The paper's
+deployments live with failing links, crashing map-servers and dying
+borders; this package makes those events first-class, *replayable*
+simulation inputs and pins down what "the fabric healed" means:
+
+* :mod:`repro.chaos.schedule` — :class:`ChaosFault` /
+  :class:`ChaosSchedule`: seeded, digest-comparable fault plans;
+* :mod:`repro.chaos.engine` — :class:`ChaosEngine`: replays a schedule
+  against a :class:`~repro.fabric.network.FabricNetwork` or
+  :class:`~repro.multisite.network.MultiSiteNetwork` via their chaos
+  verbs, keeping a JSON-able trace;
+* :mod:`repro.chaos.probes` — :class:`ProbeMonitor`: continuous
+  pair-wise probing that turns faults into blackhole-seconds and
+  fault-to-repair reconvergence delays;
+* :mod:`repro.chaos.oracle` — the no-stale-mapping healing oracle
+  (:func:`stale_mappings` / :func:`assert_healed`).
+
+The recovery machinery the schedules exercise (registration retry and
+refresh, server soft-state sweeps, border failover and away-anchor
+adoption) lives with the devices it protects; every knob defaults off
+so the performance baselines stay bit-identical.
+"""
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.oracle import assert_healed, expected_registrations, stale_mappings
+from repro.chaos.probes import PROBE_TAG, ProbeMonitor
+from repro.chaos.schedule import KIND_VERBS, ChaosFault, ChaosSchedule
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosFault",
+    "ChaosSchedule",
+    "KIND_VERBS",
+    "PROBE_TAG",
+    "ProbeMonitor",
+    "assert_healed",
+    "expected_registrations",
+    "stale_mappings",
+]

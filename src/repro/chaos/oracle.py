@@ -1,0 +1,133 @@
+"""Healing oracle: after faults heal, control-plane state must be true.
+
+The guarantee the chaos suite enforces (and the property tests sweep):
+once every fault in a schedule has healed and the simulation settled,
+**no permanently stale mapping survives** — every routing server's
+registration state equals the oracle state derivable from where
+endpoints are *actually* attached right now.
+
+Ground truth is the edges' VRF tables: an endpoint is where an edge's
+VRF says it is, because that is the table the data plane delivers from.
+The oracle therefore checks, per routing server:
+
+* every VRF-attached endpoint has a host registration pointing at its
+  serving edge's RLOC (recovered via retry/refresh after crashes);
+* every host registration corresponds to a currently attached endpoint
+  — nothing left behind by a dead edge, a crashed server's cold
+  restart, or a partitioned site (swept by the registration TTL);
+* in a federation, roamed-out endpoints additionally hold a home-site
+  anchor registration pointing at a live border of their home site
+  (the away-anchor adoption/refresh machinery).
+
+Only IPv4 host records are checked: IPv4 is the family every device
+registers and the one inter-site anchoring pins to; delegates and
+aggregates are coarser than host routes by construction.
+"""
+
+from __future__ import annotations
+
+
+def expected_registrations(fabric):
+    """Oracle state of one fabric site: {(vn, eid) -> serving edge RLOC}."""
+    expected = {}
+    for edge in fabric.edges:
+        for entry in edge.vrf.entries():
+            expected[(int(entry.vn), entry.ip.to_prefix())] = edge.rloc
+    return expected
+
+
+def _check_server(label, server, expected, anchors=None, anchor_rlocs=()):
+    """Violations of one routing server against the oracle state."""
+    anchors = anchors or {}
+    violations = []
+    if server.crashed:
+        violations.append("%s: still crashed" % label)
+        return violations
+    seen = set()
+    seen_anchors = set()
+    for record in list(server.database.records(family="ipv4")):
+        if not record.eid.is_host:
+            continue   # delegates / aggregates are configuration state
+        key = (int(record.vn), record.eid)
+        want = expected.get(key)
+        if want is not None:
+            if record.rloc == want:
+                seen.add(key)
+            else:
+                violations.append(
+                    "%s: %s/vn%d -> %s, expected %s"
+                    % (label, record.eid, key[0], record.rloc, want)
+                )
+        elif key in anchors:
+            if record.rloc in anchor_rlocs:
+                seen_anchors.add(key)
+            else:
+                violations.append(
+                    "%s: anchor %s/vn%d at %s, not a live home border"
+                    % (label, record.eid, key[0], record.rloc)
+                )
+        else:
+            violations.append(
+                "%s: stale mapping %s/vn%d -> %s (endpoint not attached)"
+                % (label, record.eid, key[0], record.rloc)
+            )
+    for key in sorted(expected, key=str):
+        if key not in seen:
+            violations.append(
+                "%s: missing registration for %s/vn%d"
+                % (label, key[1], key[0])
+            )
+    for key in sorted(anchors, key=str):
+        if key not in seen_anchors:
+            violations.append(
+                "%s: missing home anchor for %s/vn%d"
+                % (label, key[1], key[0])
+            )
+    return violations
+
+
+def stale_mappings(net):
+    """All oracle violations of a fabric or federation (empty == healed)."""
+    if hasattr(net, "sites"):
+        return _stale_multisite(net)
+    violations = []
+    expected = expected_registrations(net)
+    for index, server in enumerate(net.routing_servers):
+        violations.extend(
+            _check_server("server%d" % index, server, expected)
+        )
+    return violations
+
+
+def _stale_multisite(net):
+    violations = []
+    away_by_home = {}
+    for identity in sorted(net._foreign_site):
+        endpoint = net._endpoints[identity]
+        if endpoint.ip is None:
+            continue
+        home = net.home_site_index(endpoint)
+        key = (int(endpoint.vn), endpoint.ip.to_prefix())
+        away_by_home.setdefault(home, {})[key] = identity
+    for index, site in enumerate(net.sites):
+        expected = expected_registrations(site)
+        anchors = away_by_home.get(index, {})
+        anchor_rlocs = {
+            border.rloc for border in site.borders if not border.failed
+        }
+        for s_index, server in enumerate(site.routing_servers):
+            violations.extend(_check_server(
+                "site%d.server%d" % (index, s_index), server, expected,
+                anchors=anchors, anchor_rlocs=anchor_rlocs,
+            ))
+    return violations
+
+
+def assert_healed(net):
+    """Raise ``AssertionError`` listing every violation (tests' entry)."""
+    violations = stale_mappings(net)
+    if violations:
+        raise AssertionError(
+            "healing oracle failed (%d violations):\n  %s"
+            % (len(violations), "\n  ".join(violations))
+        )

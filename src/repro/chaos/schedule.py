@@ -1,0 +1,140 @@
+"""Deterministic fault schedules: what breaks, when, and when it heals.
+
+A :class:`ChaosSchedule` is a plain value object — an ordered list of
+:class:`ChaosFault` entries — with two properties the chaos suite leans
+on:
+
+* **Replayable.**  A schedule says nothing about *how* a fault is
+  applied; the :class:`~repro.chaos.engine.ChaosEngine` maps each fault
+  kind onto the target network's chaos verbs at arm time.  The same
+  schedule object drives a single-site fabric or a multi-site
+  federation, and running it twice against the same seed produces
+  bit-identical simulations.
+* **Digest-comparable.**  :meth:`ChaosSchedule.digest` hashes the
+  canonical JSON form, so CI lanes and property tests can assert that
+  two processes executed *the same* faults without shipping the
+  schedule between them.
+
+Schedules are authored by hand (regression scenarios want exact
+timings) or generated from a :class:`~repro.sim.rng.SeededRng` via
+:meth:`ChaosSchedule.generate` (property tests want coverage of the
+fault-combination space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.errors import ConfigurationError
+
+#: fault kind -> (inject verb, heal verb) resolved on the target network.
+#: The first four exist on :class:`~repro.fabric.network.FabricNetwork`;
+#: the last two only on :class:`~repro.multisite.network.MultiSiteNetwork`.
+KIND_VERBS = {
+    "link": ("fail_link", "heal_link"),
+    "node": ("fail_node", "heal_node"),
+    "routing_server": ("crash_routing_server", "restart_routing_server"),
+    "border": ("fail_border", "recover_border"),
+    "site_partition": ("partition_site", "heal_site"),
+    "transit_border": ("fail_transit_border", "heal_transit_border"),
+}
+
+
+class ChaosFault:
+    """One scheduled fault: inject at ``at``, heal ``heal_after_s`` later.
+
+    ``at`` is relative to engine arm time.  ``heal_after_s=None`` means
+    the fault is never healed by the engine (the scenario heals it
+    explicitly, or wants to observe the degraded steady state).
+    """
+
+    __slots__ = ("at", "kind", "args", "heal_after_s")
+
+    def __init__(self, at, kind, args=(), heal_after_s=None):
+        if kind not in KIND_VERBS:
+            raise ConfigurationError(
+                "unknown fault kind %r (have: %s)"
+                % (kind, ", ".join(sorted(KIND_VERBS)))
+            )
+        if at < 0:
+            raise ConfigurationError("fault time must be >= 0, got %r" % (at,))
+        if heal_after_s is not None and heal_after_s <= 0:
+            raise ConfigurationError(
+                "heal_after_s must be positive, got %r" % (heal_after_s,)
+            )
+        self.at = float(at)
+        self.kind = kind
+        self.args = tuple(args)
+        self.heal_after_s = None if heal_after_s is None else float(heal_after_s)
+
+    def as_dict(self):
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "args": [str(arg) if not isinstance(arg, (int, float)) else arg
+                     for arg in self.args],
+            "heal_after_s": self.heal_after_s,
+        }
+
+    def __repr__(self):
+        heal = ("" if self.heal_after_s is None
+                else ", heal_after=%gs" % self.heal_after_s)
+        return "ChaosFault(t=%g, %s%r%s)" % (self.at, self.kind,
+                                             self.args, heal)
+
+
+class ChaosSchedule:
+    """An ordered, hashable plan of faults."""
+
+    def __init__(self, faults=()):
+        self.faults = tuple(sorted(faults, key=lambda f: f.at))
+
+    def __len__(self):
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def duration_s(self):
+        """Time of the last scheduled action (inject or heal)."""
+        end = 0.0
+        for fault in self.faults:
+            end = max(end, fault.at + (fault.heal_after_s or 0.0))
+        return end
+
+    def as_dict(self):
+        return {"faults": [fault.as_dict() for fault in self.faults]}
+
+    def digest(self):
+        """Stable hex digest of the canonical JSON form."""
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def generate(cls, rng, menu, count=4, window_s=10.0,
+                 heal_after_range=(0.5, 2.0), spacing_s=0.0):
+        """Draw ``count`` healed faults from ``menu`` inside ``window_s``.
+
+        ``menu`` is a list of ``(kind, args)`` candidates — the fault
+        population of the target deployment (its links, its servers, its
+        borders).  Every generated fault heals, so post-schedule
+        invariants ("no permanently stale mapping after full healing")
+        are well-defined for any draw.  ``spacing_s`` pads fault times
+        apart so injections never collide on the same event timestamp.
+        """
+        if not menu:
+            raise ConfigurationError("fault menu is empty")
+        faults = []
+        for index in range(count):
+            kind, args = menu[int(rng.uniform(0, len(menu))) % len(menu)]
+            at = rng.uniform(0.0, window_s) + index * spacing_s
+            heal_after = rng.uniform(*heal_after_range)
+            faults.append(ChaosFault(at, kind, args, heal_after_s=heal_after))
+        return cls(faults)
+
+    def __repr__(self):
+        return "ChaosSchedule(%d faults, %.3gs)" % (
+            len(self.faults), self.duration_s
+        )

@@ -8,6 +8,7 @@ hierarchy used throughout the library.
 from repro.core.batching import Batcher
 from repro.core.counters import Counters
 from repro.core.queueing import SerialQueue
+from repro.core.retry import RetryPolicy
 from repro.core.errors import (
     ReproError,
     ConfigurationError,
@@ -31,6 +32,7 @@ from repro.core.types import (
 __all__ = [
     "Batcher",
     "Counters",
+    "RetryPolicy",
     "SerialQueue",
     "ReproError",
     "ConfigurationError",

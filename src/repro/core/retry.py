@@ -1,0 +1,77 @@
+"""Retry policies: exponential backoff with seeded jitter.
+
+Every "send and hope" control message in the fabric (Map-Register,
+Map-Notify ack handshakes, transit resolution) historically got exactly
+one shot; a lost packet meant state stayed stale until some unrelated
+event repaired it.  The chaos suite injects exactly the failures that
+lose those packets, so senders now share one backoff shape instead of
+growing ad-hoc timers: attempt ``n`` waits ``base * multiplier**n``
+seconds (capped), plus a proportional jitter drawn from the *caller's*
+:class:`~repro.sim.rng.SeededRng` so retry storms decorrelate without
+breaking run-to-run determinism.
+
+The policy object is pure configuration — it holds no per-attempt
+state and no RNG of its own, so one instance can be shared by every
+device in a fabric.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+
+class RetryPolicy:
+    """Exponential backoff schedule for unacknowledged control messages.
+
+    Parameters
+    ----------
+    base_s:
+        Delay before the first retry (attempt 0).
+    multiplier:
+        Backoff growth factor per attempt.
+    max_delay_s:
+        Ceiling on any single delay (the backoff plateaus here).
+    max_attempts:
+        Retries allowed before the sender gives up (the original send
+        does not count).
+    jitter:
+        Fraction of the computed delay added as uniform random jitter
+        (``0`` disables; requires the caller to pass an ``rng``).
+    """
+
+    __slots__ = ("base_s", "multiplier", "max_delay_s", "max_attempts",
+                 "jitter")
+
+    def __init__(self, base_s=0.2, multiplier=2.0, max_delay_s=5.0,
+                 max_attempts=5, jitter=0.1):
+        if base_s <= 0:
+            raise ConfigurationError("retry base_s must be positive")
+        if multiplier < 1.0:
+            raise ConfigurationError("retry multiplier must be >= 1")
+        if max_attempts < 1:
+            raise ConfigurationError("a retry policy needs >= 1 attempt")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter is a fraction in [0, 1]")
+        self.base_s = base_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.max_attempts = max_attempts
+        self.jitter = jitter
+
+    def delay_s(self, attempt, rng=None):
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_s * self.multiplier ** attempt,
+                    self.max_delay_s)
+        if self.jitter and rng is not None:
+            delay += rng.uniform(0.0, delay * self.jitter)
+        return delay
+
+    def exhausted(self, attempt):
+        """True once ``attempt`` retries have already been spent."""
+        return attempt >= self.max_attempts
+
+    def __repr__(self):
+        return "RetryPolicy(base=%gs, x%g, cap=%gs, attempts=%d)" % (
+            self.base_s, self.multiplier, self.max_delay_s,
+            self.max_attempts,
+        )

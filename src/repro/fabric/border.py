@@ -40,6 +40,7 @@ from repro.lisp.messages import (
 )
 from repro.lisp.records import MappingDatabase
 from repro.net.fastpath import ACT_ENCAP, MegaflowCache, MegaflowEntry
+from repro.sim.rng import SeededRng
 from repro.net.packet import UdpHeader
 from repro.net.trie import PatriciaTrie
 from repro.net.vxlan import (
@@ -71,6 +72,14 @@ class BorderRouterCounters(Counters):
         "away_announcements_sent",
         "away_registers_received",
         "away_unregisters_received",
+        # -- chaos suite (crash/recovery, soft state) --
+        "crashes",
+        "recoveries",
+        "transit_resolve_retries_sent",
+        "transit_resolve_timeouts",
+        "away_refreshes_sent",
+        "away_anchors_expired",
+        "away_anchors_adopted",
     )
 
     # Normalized metric-registry spellings (legacy names stay real
@@ -86,7 +95,9 @@ class BorderRouter:
     """Pubsub-synced fabric border with external routes."""
 
     def __init__(self, sim, name, rloc, node, underlay, routing_server_rloc,
-                 external_sink=None, megaflow=False, megaflow_max_entries=4096):
+                 external_sink=None, megaflow=False, megaflow_max_entries=4096,
+                 transit_retry=None, away_refresh_s=None,
+                 away_anchor_ttl_s=None, seed=31):
         self.sim = sim
         self.name = name
         self.rloc = rloc
@@ -107,6 +118,7 @@ class BorderRouter:
         # -- transit side (populated by connect_transit) --
         self.transit = None           # transit UnderlayNetwork
         self.transit_rloc = None
+        self.transit_node = None
         self.transit_map_server_rloc = None
         self.transit_pending_limit = 16
         self._site_register_rlocs = ()
@@ -116,6 +128,29 @@ class BorderRouter:
         #: (vn int, eid prefix) -> initiated_at of the away state (the
         #: ordering guard against late cross-transit announcements)
         self._away_initiated = {}
+        # -- chaos suite (all knobs default off) --
+        #: process-down flag: while failed, the border answers nothing.
+        self.failed = False
+        #: retry policy for transit map-requests.  Without it a lost
+        #: request wedges ``_transit_pending`` forever (thunks queue to
+        #: the limit, then drop) — the latent bug the chaos suite found.
+        self.transit_retry = transit_retry
+        #: foreign-side soft state: re-announce our roamed-in endpoints
+        #: to their home borders on this period, so a home border that
+        #: lost its away table (crash, partition) re-learns it.
+        self.away_refresh_s = away_refresh_s
+        #: home-side TTL: release away anchors not refreshed this long —
+        #: a foreign site that silently died stops hairpinning traffic
+        #: into a black hole.
+        self.away_anchor_ttl_s = away_anchor_ttl_s
+        #: (vn int, eid prefix) -> (vn, eid, group, mac, initiated_at)
+        #: of away announcements this border made (foreign side).
+        self._served_away = {}
+        #: home side: last time each away anchor was (re)announced.
+        self._away_refreshed_at = {}
+        #: away anchor group/mac (needed to re-register adopted anchors).
+        self._away_meta = {}
+        self._rng = SeededRng(seed).spawn(name)
         underlay.attach(rloc, node, self._on_packet)
 
     def subscribe(self):
@@ -140,6 +175,7 @@ class BorderRouter:
             raise ConfigurationError("%s already transit-connected" % self.name)
         self.transit = transit
         self.transit_rloc = transit_rloc
+        self.transit_node = transit_node
         self.transit_map_server_rloc = transit_map_server_rloc
         self._site_register_rlocs = tuple(site_register_rlocs)
         self.transit_pending_limit = pending_limit
@@ -148,6 +184,12 @@ class BorderRouter:
         # to unassigned space cannot turn into per-packet transit load.
         self.transit_cache = MapCache(self.sim, negative_ttl=negative_ttl)
         transit.attach(transit_rloc, transit_node, self._on_transit_packet)
+        if self.away_refresh_s is not None:
+            self.sim.schedule_daemon(self.away_refresh_s,
+                                     self._away_refresh_tick)
+        if self.away_anchor_ttl_s is not None:
+            self.sim.schedule_daemon(self.away_anchor_ttl_s / 2.0,
+                                     self._away_sweep_tick)
 
     def register_transit_aggregate(self, vn, prefix):
         """Register one of the site's coarse EID aggregates at the transit."""
@@ -171,6 +213,12 @@ class BorderRouter:
         the whole away period would be a silent regression).
         """
         initiated_at = self.sim.now
+        self._served_away[(int(vn), eid)] = (vn, eid, group, mac, initiated_at)
+        self._send_away_register(vn, eid, group, mac, initiated_at,
+                                 trace_parent)
+
+    def _send_away_register(self, vn, eid, group, mac, initiated_at,
+                            trace_parent=None):
         span = self.sim.tracer.span("border_announce_away", device=self,
                                     parent=trace_parent, eid=eid)
         def deliver(home_rloc, vn=vn, eid=eid, group=group, mac=mac):
@@ -189,6 +237,7 @@ class BorderRouter:
     def announce_return(self, vn, eid, trace_parent=None):
         """Tell the EID's home border the endpoint left this site again."""
         initiated_at = self.sim.now
+        self._served_away.pop((int(vn), eid), None)
         span = self.sim.tracer.span("border_announce_return", device=self,
                                     parent=trace_parent, eid=eid)
         def deliver(home_rloc, vn=vn, eid=eid):
@@ -205,6 +254,158 @@ class BorderRouter:
 
     def away_count(self):
         return len(self._away)
+
+    # -- chaos: crash / recovery ----------------------------------------------------
+    def fail(self):
+        """The border process dies: synced FIB and away state are gone.
+
+        Returns a snapshot of the away anchors held at death —
+        ``{key: (away_rloc, initiated_at, group, mac)}`` — so a
+        surviving peer border can adopt them
+        (:meth:`adopt_away_anchors`).
+        """
+        if self.failed:
+            return {}
+        snapshot = {
+            key: (
+                rloc,
+                self._away_initiated.get(key),
+                self._away_meta.get(key, (None, None))[0],
+                self._away_meta.get(key, (None, None))[1],
+            )
+            for key, rloc in self._away.items()
+        }
+        self.failed = True
+        self.counters.crashes += 1
+        self.synced = MappingDatabase()
+        self._transit_pending = {}
+        self._away = {}
+        self._away_initiated = {}
+        self._away_refreshed_at = {}
+        self._away_meta = {}
+        self._served_away = {}
+        if self.transit_cache is not None:
+            self.transit_cache = MapCache(
+                self.sim, negative_ttl=self.transit_cache.negative_ttl)
+        self._mf_flush()
+        self.underlay.set_announced(self.rloc, False)
+        if self.transit is not None \
+                and self.transit.attachment_node(self.transit_rloc) is not None:
+            self.transit.set_announced(self.transit_rloc, False)
+        return snapshot
+
+    def recover(self):
+        """Cold restart: rejoin both underlays and re-sync the FIB.
+
+        The synced database comes back through the pub/sub full-state
+        push the re-subscription triggers; away state comes back from
+        the foreign borders' periodic away refresh.
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.counters.recoveries += 1
+        self.underlay.set_announced(self.rloc, True)
+        if self.transit is not None:
+            if self.transit.attachment_node(self.transit_rloc) is None:
+                # A takeover peer released our transit address (or it was
+                # detached at failover time) — claim it back.
+                self.transit.attach(self.transit_rloc, self.transit_node,
+                                    self._on_transit_packet)
+            else:
+                self.transit.set_announced(self.transit_rloc, True)
+        self.subscribe()
+
+    def adopt_away_anchors(self, anchors):
+        """Take over a dead peer border's away anchors (home side).
+
+        ``anchors`` is the snapshot :meth:`fail` returned.  Each adopted
+        anchor is re-registered against *this* border in the site's
+        routing servers, so hairpin traffic shifts to the survivor.
+        """
+        for key, (away_rloc, initiated_at, group, mac) in anchors.items():
+            if key in self._away:
+                continue
+            vn, eid = key
+            self._away[key] = away_rloc
+            if initiated_at is not None:
+                self._away_initiated[key] = initiated_at
+            self._away_meta[key] = (group, mac)
+            self._away_refreshed_at[key] = self.sim.now
+            self.counters.away_anchors_adopted += 1
+            for server_rloc in self._site_register_rlocs:
+                register = MapRegister(vn, eid, self.rloc, group, mac=mac,
+                                       mobility=True)
+                self.underlay.send(
+                    self.rloc, server_rloc,
+                    control_packet(self.rloc, server_rloc, register),
+                )
+        self._mf_flush()
+
+    def adopt_transit_rloc(self, rloc):
+        """VRRP-style takeover: answer for a failed peer's transit address.
+
+        Remote sites' transit caches and the transit map-server keep
+        pointing at the dead border's RLOC; attaching it here (at our
+        own transit node) makes that state valid again without touching
+        any remote cache.
+        """
+        self.transit.attach(rloc, self.transit_node, self._on_transit_packet)
+
+    def release_transit_rloc(self, rloc):
+        """Give a taken-over transit address back (peer recovered)."""
+        if rloc == self.transit_rloc:
+            raise ConfigurationError("cannot release own transit RLOC")
+        self.transit.detach(rloc)
+
+    # -- chaos: away soft state -----------------------------------------------------
+    def _away_refresh_tick(self):
+        """Foreign side: periodically re-announce roamed-in endpoints.
+
+        Refreshes carry the ORIGINAL ``initiated_at`` — a refresh is not
+        a new roam event, and bumping the timestamp would let it defeat
+        the home border's ordering guard against genuinely fresher
+        state.
+        """
+        if not self.failed:
+            for vn, eid, group, mac, initiated_at in list(
+                    self._served_away.values()):
+                self.counters.away_refreshes_sent += 1
+                self._send_away_register(vn, eid, group, mac, initiated_at)
+        self.sim.schedule_daemon(self.away_refresh_s,
+                                 self._away_refresh_tick)
+
+    def _away_sweep_tick(self):
+        """Home side: drop away anchors the foreign site stopped refreshing."""
+        if not self.failed:
+            now = self.sim.now
+            ttl = self.away_anchor_ttl_s
+            expired = [
+                key for key, refreshed in self._away_refreshed_at.items()
+                if key in self._away and refreshed + ttl <= now
+            ]
+            for key in expired:
+                self.counters.away_anchors_expired += 1
+                self._release_anchor(key)
+        self.sim.schedule_daemon(self.away_anchor_ttl_s / 2.0,
+                                 self._away_sweep_tick)
+
+    def _release_anchor(self, key):
+        """Withdraw one away anchor (TTL expiry path)."""
+        vn, eid = key
+        self._away.pop(key, None)
+        self._away_initiated.pop(key, None)
+        self._away_refreshed_at.pop(key, None)
+        self._away_meta.pop(key, None)
+        self._mf_flush()
+        for server_rloc in self._site_register_rlocs:
+            # RLOC-guarded: a fresh local re-registration is never torn
+            # down by the sweep.
+            unregister = MapUnregister(vn, eid, self.rloc)
+            self.underlay.send(
+                self.rloc, server_rloc,
+                control_packet(self.rloc, server_rloc, unregister),
+            )
 
     # -- external routes -----------------------------------------------------------
     def add_external_route(self, vn, prefix, label="internet"):
@@ -224,6 +425,8 @@ class BorderRouter:
 
     # -- data plane ---------------------------------------------------------------------
     def _on_packet(self, packet):
+        if self.failed:
+            return  # in flight when the process died
         udp = packet.find(UdpHeader)
         if udp is not None and udp.dst_port == VXLAN_PORT:
             self._handle_data(packet)
@@ -354,6 +557,8 @@ class BorderRouter:
         self.transit.send(self.transit_rloc, remote_rloc, packet)
 
     def _on_transit_packet(self, packet):
+        if self.failed:
+            return  # in flight when the process died
         udp = packet.find(UdpHeader)
         if udp is not None and udp.dst_port == VXLAN_PORT:
             self._handle_transit_data(packet)
@@ -427,6 +632,32 @@ class BorderRouter:
         self.counters.transit_requests_sent += 1
         request = MapRequest(vn, address.to_prefix(), reply_to=self.transit_rloc)
         self._send_transit(self.transit_map_server_rloc, request)
+        if self.transit_retry is not None:
+            self.sim.schedule(self.transit_retry.delay_s(0, self._rng),
+                              self._check_transit_resolve, key, 0)
+
+    def _check_transit_resolve(self, key, attempt):
+        """Retry an unanswered transit map-request (chaos suite).
+
+        Without this, a single lost request wedges ``_transit_pending``
+        for the EID forever: thunks pile up to the limit and every
+        later packet for the destination is dropped.
+        """
+        if key not in self._transit_pending or self.failed:
+            return  # answered (or our state died with us)
+        if self.transit_retry.exhausted(attempt):
+            self.counters.transit_resolve_timeouts += 1
+            for thunk in self._transit_pending.pop(key):
+                thunk(None)
+            return
+        self.counters.transit_resolve_retries_sent += 1
+        self.counters.transit_requests_sent += 1
+        request = MapRequest(key[0], key[1], reply_to=self.transit_rloc)
+        self._send_transit(self.transit_map_server_rloc, request)
+        self.sim.schedule(
+            self.transit_retry.delay_s(attempt + 1, self._rng),
+            self._check_transit_resolve, key, attempt + 1,
+        )
 
     def _handle_transit_reply(self, reply):
         if reply.is_negative:
@@ -491,8 +722,18 @@ class BorderRouter:
                     and current.registered_at > message.initiated_at:
                 span.finish(outcome="stale")
                 return  # a fresher home re-registration exists
+            if self._away.get(key) == message.away_rloc \
+                    and held == message.initiated_at:
+                # Pure soft-state refresh: nothing changed, so skip the
+                # site-server re-registration storm and just re-arm the
+                # anchor's TTL.
+                self._away_refreshed_at[key] = self.sim.now
+                span.finish(outcome="refreshed")
+                return
             self._away_initiated[key] = message.initiated_at
         self._away[key] = message.away_rloc
+        self._away_meta[key] = (message.group, message.mac)
+        self._away_refreshed_at[key] = self.sim.now
         self._mf_flush()
         for server_rloc in self._site_register_rlocs:
             register = MapRegister(message.vn, message.eid, self.rloc,
@@ -521,6 +762,8 @@ class BorderRouter:
                 return  # stale return announcement lost a race
         del self._away[key]
         self._away_initiated.pop(key, None)
+        self._away_refreshed_at.pop(key, None)
+        self._away_meta.pop(key, None)
         self._mf_flush()
         for server_rloc in self._site_register_rlocs:
             # Guarded by our own RLOC: a racing home re-attach (the edge's

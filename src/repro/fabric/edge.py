@@ -51,6 +51,7 @@ from repro.policy.acl import GroupAcl
 from repro.policy.matrix import PolicyAction
 from repro.policy.server import AccessRequest, AccessResult
 from repro.fabric.vrf import LocalEndpointEntry, VrfTable
+from repro.sim.rng import SeededRng
 
 #: Enforcement point selection (sec. 5.3 trade-off).
 ENFORCE_EGRESS = "egress"
@@ -86,6 +87,11 @@ class EdgeRouterCounters(Counters):
         "map_request_retries_sent",
         "map_request_timeouts",
         "miss_drops",
+        "register_acks_received",
+        "register_retries_sent",
+        "register_retry_exhausted",
+        "register_refreshes_sent",
+        "border_failovers",
     )
 
     # Normalized metric-registry spellings for the ad-hoc legacy names;
@@ -112,7 +118,9 @@ class EdgeRouter:
                  map_request_timeout_s=1.0, map_request_retries=2,
                  default_route_to_border=True,
                  batching=False, register_flush_s=2e-3,
-                 megaflow=False, megaflow_max_entries=4096):
+                 megaflow=False, megaflow_max_entries=4096,
+                 register_retry=None, register_refresh_s=None,
+                 backup_border_rlocs=(), seed=29):
         self.sim = sim
         self.name = name
         self.rloc = rloc
@@ -153,6 +161,23 @@ class EdgeRouter:
         self.batching = batching
         self.register_flush_s = register_flush_s
         self._register_batchers = {}   # server rloc -> Batcher
+        #: chaos-suite recovery knobs, all off by default so the
+        #: fire-and-forget baseline stays bit-identical.
+        #: ``register_retry`` (a :class:`repro.core.RetryPolicy`) turns
+        #: registrations into acked messages (registrar ack to
+        #: ourselves) with exponential-backoff resends; a lost
+        #: Map-Register no longer strands an endpoint forever.
+        self.register_retry = register_retry
+        #: re-register every local endpoint on this period — soft-state
+        #: refresh that repopulates a cold-restarted routing server and
+        #: feeds its registration TTL sweep.
+        self.register_refresh_s = register_refresh_s
+        self._pending_registers = {}   # nonce -> (server rloc, records, attempt)
+        self._rng = SeededRng(seed).spawn(name)
+        #: VRRP-less border redundancy: when the IGP declares the
+        #: current border dead, rotate to the next reachable backup.
+        self._border_rlocs = (border_rloc,) + tuple(backup_border_rlocs)
+        self._border_index = 0
         #: data-plane fast path: memoize complete forwarding decisions
         #: (resolved RLOC + policy verdict + encap template) per
         #: (VN, src group, dst EID); see :mod:`repro.net.fastpath`.
@@ -176,6 +201,8 @@ class EdgeRouter:
         underlay.attach(rloc, node, self._on_packet)
         if watch_underlay and underlay.igp is not None:
             underlay.subscribe_reachability(node, self._on_reachability)
+        if register_refresh_s is not None:
+            sim.schedule_daemon(register_refresh_s, self._refresh_tick)
 
     # ------------------------------------------------------------------ attachment
     def allocate_port(self):
@@ -313,8 +340,12 @@ class EdgeRouter:
                     endpoint.vn, eid, self.rloc, endpoint.group,
                     mac=endpoint.mac if eid.family != "mac" else None,
                     mobility=roaming,
+                    registrar_rloc=(self.rloc if self.register_retry
+                                    else None),
                 )
                 self.counters.map_registers_sent += 1
+                if self.register_retry is not None:
+                    self._track_register(server_rloc, register, attempt=0)
                 self._send_control(server_rloc, register)
 
     def _submit_register_record(self, server_rloc, record):
@@ -333,7 +364,75 @@ class EdgeRouter:
         if self.rebooting:
             return  # state was reset; these records are from before
         self.counters.map_registers_sent += 1
-        self._send_control(server_rloc, MapRegister(records=records))
+        # A withdrawal-only batch stays unacked: the server only acks
+        # committed registrations, and guarded withdrawals are
+        # idempotent — a lost one is repaired by the TTL sweep.
+        acked = (self.register_retry is not None
+                 and any(not record.withdraw for record in records))
+        register = MapRegister(
+            records=records,
+            registrar_rloc=self.rloc if acked else None,
+        )
+        if acked:
+            self._track_register(server_rloc, register, attempt=0)
+        self._send_control(server_rloc, register)
+
+    # -- registration acks & retries (chaos suite) --------------------------------
+    def _track_register(self, server_rloc, register, attempt):
+        self._pending_registers[register.nonce] = (
+            server_rloc, register.eid_records, attempt,
+        )
+        self.sim.schedule(
+            self.register_retry.delay_s(attempt, self._rng),
+            self._check_register, register.nonce,
+        )
+
+    def _check_register(self, nonce):
+        pending = self._pending_registers.pop(nonce, None)
+        if pending is None or self.rebooting:
+            return  # acked in time (or state was reset)
+        server_rloc, records, attempt = pending
+        if self.register_retry.exhausted(attempt):
+            self.counters.register_retry_exhausted += 1
+            return
+        # Revalidate against the *current* VRF: retrying a snapshot
+        # taken before a roam-away would resurrect stale state the new
+        # edge's registration already superseded.  Withdrawals survive
+        # as-is (RLOC-guarded, hence idempotent).
+        survivors = tuple(
+            record for record in records
+            if record.withdraw or self._still_local(record)
+        )
+        if not any(not record.withdraw for record in survivors):
+            return  # nothing acked is left to claim
+        self.counters.register_retries_sent += 1
+        self.counters.map_registers_sent += 1
+        retry = MapRegister(records=survivors, registrar_rloc=self.rloc)
+        self._track_register(server_rloc, retry, attempt + 1)
+        self._send_control(server_rloc, retry)
+
+    def _still_local(self, record):
+        """Does this EID still belong to an endpoint attached here?"""
+        if record.eid.family == "mac":
+            entry = self.vrf.lookup_mac(record.vn, record.eid.address)
+        else:
+            entry = self.vrf.lookup_ip(record.vn, record.eid.address)
+        return entry is not None and entry.endpoint.edge is self
+
+    def _refresh_tick(self):
+        """Soft-state registration refresh (daemon).
+
+        Re-registers every locally attached endpoint so a routing server
+        that lost its database (crash + cold restart) converges back to
+        truth, and so its TTL sweep sees live endpoints as fresh.  The
+        batching pipeline, when on, absorbs the refresh storm.
+        """
+        if not self.rebooting:
+            self.counters.register_refreshes_sent += 1
+            for entry in list(self.vrf.entries()):
+                if entry.endpoint.edge is self:
+                    self._register_endpoint(entry.endpoint, roaming=False)
+        self.sim.schedule_daemon(self.register_refresh_s, self._refresh_tick)
 
     def detach_endpoint(self, endpoint, deregister=False):
         """Endpoint left this edge (roam-away or shutdown).
@@ -785,6 +884,12 @@ class EdgeRouter:
         each record is processed independently.
         """
         self.counters.notifies_received += 1
+        if notify.nonce in self._pending_registers:
+            # Aggregated ack for one of our own acked registrations:
+            # the records are our state echoed back, nothing to apply.
+            del self._pending_registers[notify.nonce]
+            self.counters.register_acks_received += 1
+            return
         with self.sim.tracer.span("edge_map_notify", device=self,
                                   parent=notify.trace_ctx,
                                   records=notify.record_count):
@@ -838,6 +943,31 @@ class EdgeRouter:
         self._mf_flush()
         if removed:
             self.counters.unreachable_fallbacks += removed
+        if rloc == self.border_rloc and len(self._border_rlocs) > 1:
+            self._fail_over_border()
+
+    def _fail_over_border(self):
+        """Rotate the default route to the next reachable backup border.
+
+        Sticky: when the failed border heals we stay on the survivor —
+        failing back would churn in-flight traffic for no correctness
+        gain (both borders serve the same external routes).
+        """
+        order = self._border_rlocs
+        n = len(order)
+        for step in range(1, n + 1):
+            index = (self._border_index + step) % n
+            candidate = order[index]
+            if candidate == self.border_rloc:
+                continue
+            if self.underlay.reachable(self.rloc, candidate):
+                self._border_index = index
+                self.border_rloc = candidate
+                self.counters.border_failovers += 1
+                self._mf_flush()
+                return
+        # Every border is unreachable right now; keep the current one so
+        # the next reachability flap re-evaluates from a stable point.
 
     # ------------------------------------------------------------------ reboot (sec. 5.2)
     def reboot(self, duration_s=30.0, silent_in_igp=True):
@@ -855,6 +985,7 @@ class EdgeRouter:
         self._mf_flush()
         self._pending_resolution = {}
         self._pending_auth = {}
+        self._pending_registers = {}
         self._ports = {}
         for batcher in self._register_batchers.values():
             batcher.discard()

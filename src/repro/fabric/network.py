@@ -47,7 +47,10 @@ class FabricConfig:
                  batching=False, register_flush_s=2e-3,
                  session_cache=False, session_cache_ttl_s=600.0,
                  cached_auth_service_s=50e-6,
-                 megaflow=False, megaflow_max_entries=4096):
+                 megaflow=False, megaflow_max_entries=4096,
+                 register_retry=None, register_refresh_s=None,
+                 border_failover=False,
+                 registration_ttl_s=None, registration_sweep_s=None):
         if num_borders < 1:
             raise ConfigurationError("a fabric needs at least one border")
         if num_edges < 1:
@@ -85,6 +88,20 @@ class FabricConfig:
         #: megaflow cache (see :mod:`repro.net.fastpath`).
         self.megaflow = megaflow
         self.megaflow_max_entries = megaflow_max_entries
+        #: chaos-suite recovery knobs (all off by default — the
+        #: fire-and-forget baseline stays bit-identical):
+        #: ``register_retry`` is a :class:`repro.core.RetryPolicy` for
+        #: unacked edge registrations; ``register_refresh_s`` makes
+        #: every edge periodically re-register its local endpoints;
+        #: ``border_failover`` gives each edge the other borders as
+        #: default-route backups; ``registration_ttl_s`` +
+        #: ``registration_sweep_s`` turn server-side registrations into
+        #: soft state that expires when no refresh arrives.
+        self.register_retry = register_retry
+        self.register_refresh_s = register_refresh_s
+        self.border_failover = border_failover
+        self.registration_ttl_s = registration_ttl_s
+        self.registration_sweep_s = registration_sweep_s
 
 
 def inject_burst(endpoint, dst_ip, size=1500, payload=None, count=1,
@@ -194,9 +211,21 @@ class FabricNetwork:
             )
             self.borders.append(border)
 
+        if cfg.registration_sweep_s is not None:
+            for server in self.routing_servers:
+                server.start_registration_sweep(
+                    cfg.registration_sweep_s, ttl_s=cfg.registration_ttl_s)
+
         self.edges = []
         for i in range(cfg.num_edges):
             rloc = IPv4Address(_RLOC_EDGE_BASE + 1 + i)
+            primary_border = self.borders[i % cfg.num_borders]
+            backup_rlocs = ()
+            if cfg.border_failover and cfg.num_borders > 1:
+                backup_rlocs = tuple(
+                    border.rloc for border in self.borders
+                    if border is not primary_border
+                )
             edge = EdgeRouter(
                 self.sim, "edge-%d" % i, rloc, self._leaves[i],
                 self.underlay,
@@ -204,7 +233,7 @@ class FabricNetwork:
                     i % len(self.routing_servers)].rloc,
                 register_rlocs=[s.rloc for s in self.routing_servers],
                 policy_server_rloc=self.policy_server.rloc,
-                border_rloc=self.borders[i % cfg.num_borders].rloc,
+                border_rloc=primary_border.rloc,
                 dhcp=self.dhcp,
                 enforcement=cfg.enforcement,
                 map_cache_ttl=cfg.map_cache_ttl,
@@ -215,6 +244,9 @@ class FabricNetwork:
                 register_flush_s=cfg.register_flush_s,
                 megaflow=cfg.megaflow,
                 megaflow_max_entries=cfg.megaflow_max_entries,
+                register_retry=cfg.register_retry,
+                register_refresh_s=cfg.register_refresh_s,
+                backup_border_rlocs=backup_rlocs,
             )
             if cfg.l2_services:
                 L2Gateway(edge)
@@ -352,6 +384,63 @@ class FabricNetwork:
         dst_ip = dst.ip if isinstance(dst, Endpoint) else dst
         return inject_burst(src_endpoint, dst_ip, size=size, payload=payload,
                             count=count, as_train=as_train)
+
+    # ------------------------------------------------------------------ chaos verbs
+    def fail_link(self, a, b):
+        """Cut an underlay link; the IGP refloods and reconverges."""
+        if self.igp is not None:
+            self.igp.link_down(a, b)
+        else:
+            self.topology.set_link_state(a, b, False)
+
+    def heal_link(self, a, b):
+        if self.igp is not None:
+            self.igp.link_up(a, b)
+        else:
+            self.topology.set_link_state(a, b, True)
+
+    def fail_node(self, node):
+        """Kill an underlay switch (all its links go with it)."""
+        if self.igp is not None:
+            self.igp.node_down(node)
+        else:
+            self.topology.set_node_state(node, False)
+
+    def heal_node(self, node):
+        if self.igp is not None:
+            self.igp.node_up(node)
+        else:
+            self.topology.set_node_state(node, True)
+
+    def crash_routing_server(self, index=0):
+        """Kill a routing server process (volatile map state is lost)."""
+        self.routing_servers[index].crash()
+
+    def restart_routing_server(self, index=0):
+        """Cold-restart a crashed routing server and re-sync the borders.
+
+        The borders' pub/sub subscriptions died with the server's
+        process memory, so they re-subscribe here — the full-state push
+        a subscription triggers is how each border refills its synced
+        FIB as registrations trickle back in.
+        """
+        server = self.routing_servers[index]
+        server.restart()
+        for border in self.borders:
+            if not border.failed and border.routing_server_rloc == server.rloc:
+                border.subscribe()
+
+    def fail_border(self, index):
+        """Kill a border; surviving borders adopt its away anchors.
+
+        Returns the dead border's away-anchor snapshot (handed to the
+        survivor by the multi-site facade's transit takeover; plain
+        single-site fabrics can ignore it).
+        """
+        return self.borders[index].fail()
+
+    def recover_border(self, index):
+        self.borders[index].recover()
 
     # ------------------------------------------------------------------ policy change plumbing
     def _on_session(self, identity, edge_rloc, group):

@@ -55,6 +55,10 @@ class RoutingServerStats(Counters):
         "publishes_sent",
         "registrar_acks",
         "max_queue_depth",
+        "crashes",
+        "restarts",
+        "dropped_while_down",
+        "expired_registrations",
     )
 
 
@@ -91,6 +95,14 @@ class RoutingServer:
         self._busy_until = 0.0
         self._queue_depth = 0
         self._subscribers = {}   # rloc -> vn filter (None = all)
+        #: crash/restart state (chaos suite): while down, every arriving
+        #: message is dropped; the epoch guard discards work that was
+        #: already queued when the process died.
+        self.crashed = False
+        self._epoch = 0
+        #: non-volatile configuration replayed on a cold restart —
+        #: delegations are installed by the operator, not learned.
+        self._config_delegates = []
         #: optional hook ``(message, finish_time)`` fired after processing;
         #: the fig. 7 driver uses it to measure per-message response delay.
         self.on_processed = None
@@ -140,12 +152,19 @@ class RoutingServer:
                 queue_wait_s=start - now, service_s=finish - start,
                 records=getattr(message, "record_count", 1),
             )
-            self.sim.schedule(finish - now, self._complete, message,
-                              completion, span)
+            self.sim.schedule(finish - now, self._complete, self._epoch,
+                              message, completion, span)
         else:
-            self.sim.schedule(finish - now, self._complete, message, completion)
+            self.sim.schedule(finish - now, self._complete, self._epoch,
+                              message, completion)
 
-    def _complete(self, message, completion, span=None):
+    def _complete(self, epoch, message, completion, span=None):
+        if epoch != self._epoch or self.crashed:
+            # Queued before a crash: the process that owed this work is
+            # gone (its queue state was reset with it).
+            if span is not None:
+                span.finish(outcome="lost_in_crash")
+            return
         self._queue_depth -= 1
         if span is not None:
             self._active_ctx = span.ctx
@@ -166,6 +185,11 @@ class RoutingServer:
 
     def handle_message(self, message):
         """Entry point for all control messages (queued, then dispatched)."""
+        if self.crashed:
+            # In-flight packets can still arrive after the IGP withdrew
+            # the announcement; a dead process answers nothing.
+            self.stats.dropped_while_down += 1
+            return
         handler = {
             MapRequest.kind: self._process_request,
             MapRegister.kind: self._process_register,
@@ -285,6 +309,87 @@ class RoutingServer:
             payload = record.copy() if record is not None else None
             self._send(subscriber_rloc, PublishUpdate(vn, eid, payload))
 
+    # -- crash / cold restart (chaos suite) -----------------------------------------------
+    def crash(self):
+        """The server process dies: volatile map state is gone.
+
+        The mapping database, the pub/sub subscriber table and the FIFO
+        queue are all process memory — a cold restart starts from
+        nothing but configuration.  The only thing carried across is
+        the per-EID version floor (:meth:`MappingDatabase
+        .adopt_versions`), modelling the stable-storage version epoch
+        real map-versioning needs: without it, every cache holding a
+        pre-crash version would reject the fresher post-restart mapping
+        as stale, forever.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._epoch += 1
+        self.stats.crashes += 1
+        fresh = MappingDatabase()
+        fresh.adopt_versions(self.database)
+        self.database = fresh
+        self._subscribers = {}
+        self._busy_until = 0.0
+        self._queue_depth = 0
+        if self.underlay is not None:
+            self.underlay.set_announced(self.rloc, False)
+
+    def restart(self):
+        """Cold restart: replay configuration, rejoin the IGP, serve.
+
+        Learned state comes back only through recovery traffic — the
+        borders' re-subscription and the edges'/registrars' registration
+        refresh storm (the PR 3 batching pipeline absorbs it).
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.stats.restarts += 1
+        for vn, prefix, rloc, ttl in self._config_delegates:
+            record = MappingRecord(vn, prefix, rloc,
+                                   registered_at=self.sim.now, ttl=ttl)
+            self.database.register(record)
+        if self.underlay is not None:
+            self.underlay.set_announced(self.rloc, True)
+
+    # -- registration TTL (soft state) ----------------------------------------------------
+    def expire_stale_registrations(self, ttl_s=None):
+        """Drop host registrations not refreshed within their TTL.
+
+        ``ttl_s`` caps every record's own advisory TTL (the sweep knob
+        chaos runs pair with the edges' registration refresh).  Only
+        host routes expire — delegations and aggregates are
+        configuration.  Returns the number of expired records.
+        """
+        now = self.sim.now
+        expired = [
+            record for record in self.database.records()
+            if record.eid.is_host
+            and record.registered_at
+            + (record.ttl if ttl_s is None else min(record.ttl, ttl_s))
+            <= now
+        ]
+        for record in expired:
+            removed = self.database.unregister(record.vn, record.eid,
+                                               record.rloc)
+            if removed is not None:
+                self.stats.expired_registrations += 1
+                self._publish(record.vn, record.eid, None)
+        return len(expired)
+
+    def start_registration_sweep(self, interval_s, ttl_s=None):
+        """Run :meth:`expire_stale_registrations` periodically (daemon)."""
+        self.sim.schedule_daemon(interval_s, self._sweep_tick,
+                                 interval_s, ttl_s)
+
+    def _sweep_tick(self, interval_s, ttl_s):
+        if not self.crashed:
+            self.expire_stale_registrations(ttl_s)
+        self.sim.schedule_daemon(interval_s, self._sweep_tick,
+                                 interval_s, ttl_s)
+
     # -- direct API (setup & benchmarks) --------------------------------------------------
     def install_delegate(self, vn, prefix, rloc, ttl=None):
         """Delegate a coarse EID prefix to another device (multi-site).
@@ -302,6 +407,7 @@ class RoutingServer:
             )
         record = MappingRecord(vn, prefix, rloc, registered_at=self.sim.now,
                                ttl=ttl)
+        self._config_delegates.append((record.vn, prefix, rloc, ttl))
         self.database.register(record)
         self._publish(record.vn, prefix, record)
         return record

@@ -168,6 +168,18 @@ class MappingDatabase:
             return self._count
         return sum(1 for _ in self.records(vn, family))
 
+    def adopt_versions(self, other):
+        """Carry another database's version floor into this one.
+
+        Used on a routing-server cold restart: records are volatile but
+        the version counters must survive (stable-storage epoch), or
+        post-restart registrations would re-issue versions that caches
+        already hold and discard as stale.
+        """
+        for key, version in other._versions.items():
+            if version > self._versions.get(key, 0):
+                self._versions[key] = version
+
     def clear(self):
         self._tries = {}
         self._count = 0

@@ -93,7 +93,12 @@ class MultiSiteConfig:
                  transit_pending_limit=16,
                  register_families=("ipv4", "ipv6", "mac"), seed=42,
                  megaflow=False, batching=False, register_flush_s=2e-3,
-                 session_cache=False, session_cache_ttl_s=600.0):
+                 session_cache=False, session_cache_ttl_s=600.0,
+                 register_retry=None, register_refresh_s=None,
+                 border_failover=False,
+                 registration_ttl_s=None, registration_sweep_s=None,
+                 transit_retry=None, away_refresh_s=None,
+                 away_anchor_ttl_s=None):
         if num_sites < 1:
             raise ConfigurationError("a multi-site fabric needs at least one site")
         self.num_sites = num_sites
@@ -120,6 +125,20 @@ class MultiSiteConfig:
         self.register_flush_s = register_flush_s
         self.session_cache = session_cache
         self.session_cache_ttl_s = session_cache_ttl_s
+        #: chaos-suite recovery knobs, replicated into every site (same
+        #: defaults-off contract as :class:`FabricConfig`) plus the
+        #: transit-side soft state: ``transit_retry`` re-resolves lost
+        #: transit Map-Requests, ``away_refresh_s`` makes foreign borders
+        #: re-announce roamed-in endpoints, ``away_anchor_ttl_s`` expires
+        #: home anchors the foreign site stopped refreshing.
+        self.register_retry = register_retry
+        self.register_refresh_s = register_refresh_s
+        self.border_failover = border_failover
+        self.registration_ttl_s = registration_ttl_s
+        self.registration_sweep_s = registration_sweep_s
+        self.transit_retry = transit_retry
+        self.away_refresh_s = away_refresh_s
+        self.away_anchor_ttl_s = away_anchor_ttl_s
 
     def site_config(self, index):
         return FabricConfig(
@@ -138,6 +157,11 @@ class MultiSiteConfig:
             register_flush_s=self.register_flush_s,
             session_cache=self.session_cache,
             session_cache_ttl_s=self.session_cache_ttl_s,
+            register_retry=self.register_retry,
+            register_refresh_s=self.register_refresh_s,
+            border_failover=self.border_failover,
+            registration_ttl_s=self.registration_ttl_s,
+            registration_sweep_s=self.registration_sweep_s,
         )
 
 
@@ -159,6 +183,8 @@ class MultiSiteNetwork:
             bandwidth_bps=cfg.transit_bandwidth_bps,
         )
         self.transit_topology = transit_topology
+        self._transit_cores = list(_cores)
+        self._transit_access = list(access)
         self.transit_underlay = UnderlayNetwork(
             self.sim, transit_topology,
             extra_delay_jitter_s=cfg.transit_jitter_s, seed=cfg.seed + 5,
@@ -169,20 +195,31 @@ class MultiSiteNetwork:
             seed=cfg.seed + 6,
         )
 
-        #: site index -> the site's transit-facing border (border 0)
+        #: site index -> the site's transit-facing border (border 0).
+        #: With more than one border per site, border 1 also attaches to
+        #: the transit as a warm standby — the chaos suite's
+        #: :meth:`fail_transit_border` takeover target.
         self.transit_borders = []
+        self.standby_borders = []
         for index, site in enumerate(self.sites):
-            border = site.borders[0]
-            border.connect_transit(
-                self.transit_underlay,
-                IPv4Address(_TRANSIT_SITE_BASE + (index << 8)),
-                access[index],
-                self.transit.rloc,
-                site_register_rlocs=[s.rloc for s in site.routing_servers],
-                pending_limit=cfg.transit_pending_limit,
-                negative_ttl=cfg.negative_ttl,
-            )
-            self.transit_borders.append(border)
+            candidates = site.borders[:2] if len(site.borders) > 1 \
+                else site.borders[:1]
+            for order, border in enumerate(candidates):
+                border.transit_retry = cfg.transit_retry
+                border.away_refresh_s = cfg.away_refresh_s
+                border.away_anchor_ttl_s = cfg.away_anchor_ttl_s
+                border.connect_transit(
+                    self.transit_underlay,
+                    IPv4Address(_TRANSIT_SITE_BASE + (index << 8) + order),
+                    access[index],
+                    self.transit.rloc,
+                    site_register_rlocs=[s.rloc for s in site.routing_servers],
+                    pending_limit=cfg.transit_pending_limit,
+                    negative_ttl=cfg.negative_ttl,
+                )
+            self.transit_borders.append(candidates[0])
+            self.standby_borders.append(
+                candidates[1] if len(candidates) > 1 else None)
 
         # Inter-site SXP: full-mesh binding export between site speakers.
         for a in self.sites:
@@ -192,6 +229,7 @@ class MultiSiteNetwork:
 
         self._endpoints = {}
         self._vn_site_prefixes = {}   # vn int -> [per-site Prefix]
+        self._vn_prefix = {}          # vn int -> whole-VN Prefix (delegates)
         self._location = {}           # identity -> site index
         self._foreign_site = {}       # identity -> foreign site index (away)
 
@@ -254,6 +292,7 @@ class MultiSiteNetwork:
             raise ConfigurationError("VN %d already defined" % key)
         site_prefixes = split_prefix(prefix, len(self.sites))
         self._vn_site_prefixes[key] = site_prefixes
+        self._vn_prefix[key] = prefix
         vns = []
         for index, site in enumerate(self.sites):
             vns.append(site.define_vn(name, vn_id, site_prefixes[index]))
@@ -414,6 +453,68 @@ class MultiSiteNetwork:
             self.transit_borders[previous_foreign].announce_return(
                 endpoint.vn, eid, trace_parent=endpoint.trace_ctx,
             )
+
+    # ------------------------------------------------------------------ chaos scenario verbs
+    def partition_site(self, site):
+        """Cut a site off the transit: both redundant access links down.
+
+        The site keeps working internally; inter-site traffic and away
+        signaling involving it blackhole until :meth:`heal_site`.  With
+        ``away_anchor_ttl_s`` set, home borders sweep the partitioned
+        site's stale anchors, and the foreign side's periodic refresh
+        re-creates them after the heal — the split-brain reconciliation
+        the chaos suite's healing oracle checks.
+        """
+        index = self.site_index(site)
+        node = self._transit_access[index]
+        for core in self._transit_cores:
+            self.transit_topology.set_link_state(node, core, False)
+
+    def heal_site(self, site):
+        """Restore a partitioned site's transit access links."""
+        index = self.site_index(site)
+        node = self._transit_access[index]
+        for core in self._transit_cores:
+            self.transit_topology.set_link_state(node, core, True)
+
+    def fail_transit_border(self, site):
+        """Kill a site's transit border; the standby takes over.
+
+        VRRP-style: the survivor answers for the dead border's transit
+        RLOC (remote caches and the transit map-server stay valid),
+        adopts its away anchors, and takes over the site's delegate
+        default route.  Requires ``borders_per_site >= 2``.
+        """
+        index = self.site_index(site)
+        survivor = self.standby_borders[index]
+        if survivor is None:
+            raise ConfigurationError(
+                "site %d has no standby border (borders_per_site < 2)" % index
+            )
+        dead = self.transit_borders[index]
+        snapshot = dead.fail()
+        self.transit_underlay.detach(dead.transit_rloc)
+        survivor.adopt_transit_rloc(dead.transit_rloc)
+        survivor.adopt_away_anchors(snapshot)
+        for key, prefix in self._vn_prefix.items():
+            for server in self.sites[index].routing_servers:
+                server.install_delegate(key, prefix, survivor.rloc)
+        return snapshot
+
+    def heal_transit_border(self, site):
+        """Cold-restart a failed transit border and hand its role back."""
+        index = self.site_index(site)
+        dead = self.transit_borders[index]
+        if not dead.failed:
+            return
+        survivor = self.standby_borders[index]
+        if survivor is not None and self.transit_underlay.attachment_node(
+                dead.transit_rloc) is not None:
+            survivor.release_transit_rloc(dead.transit_rloc)
+        dead.recover()
+        for key, prefix in self._vn_prefix.items():
+            for server in self.sites[index].routing_servers:
+                server.install_delegate(key, prefix, dead.rloc)
 
     # ------------------------------------------------------------------ simulation control
     def settle(self, max_time=60.0):

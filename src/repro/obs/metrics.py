@@ -137,6 +137,29 @@ class MetricRegistry:
                    lambda: queue.tombstones_reaped)
         self.gauge("sim.events_processed", lambda: sim.events_processed)
 
+    def enroll_chaos(self, monitor, engine=None):
+        """Wire the chaos suite's health signals as gauges.
+
+        ``chaos.blackhole_seconds`` is the probe-measured pair-seconds
+        of data-plane outage (see
+        :class:`repro.chaos.probes.ProbeMonitor`);
+        ``chaos.reconvergence_last_s`` the most recent fault-to-repair
+        delay.  Sampled alongside device counters, they put "how dark
+        did the fabric go" on the same timeline as "what did the
+        control plane do about it".
+        """
+        self.gauge("chaos.blackhole_seconds", lambda: monitor.blackhole_s)
+        self.gauge("chaos.probes_lost", lambda: monitor.lost)
+        self.gauge(
+            "chaos.reconvergence_last_s",
+            lambda: (monitor.reconvergence_s[-1]
+                     if monitor.reconvergence_s else 0.0),
+        )
+        if engine is not None:
+            self.gauge("chaos.faults_injected",
+                       lambda: engine.faults_injected)
+            self.gauge("chaos.faults_healed", lambda: engine.faults_healed)
+
     def auto_enroll(self):
         """Enroll every live tracked :class:`Counters` instance.
 

@@ -21,6 +21,7 @@ import hashlib
 import json
 import sys
 
+from repro.workloads.chaos_campus import ChaosCampusWorkload
 from repro.workloads.distributed_wireless_campus import (
     DistributedWirelessCampusProfile,
     DistributedWirelessCampusWorkload,
@@ -66,6 +67,19 @@ def distributed_wireless_digest(duration_s=30.0, seed=17):
     return workload.digest()
 
 
+def chaos_campus_digest(duration_s=12.0, seed=17):
+    """Digest of the chaos campus run (faults + recovery + probe ledger).
+
+    The hardest determinism surface in the repo: retry backoff timers,
+    IGP reconvergence, crash/restart re-registration storms and probe
+    bookkeeping all feed the ledger, so any nondeterminism the chaos
+    machinery introduces shows up here first.
+    """
+    workload = ChaosCampusWorkload(seed=seed)
+    workload.run(duration_s=duration_s)
+    return workload.digest()
+
+
 def main(argv=None):
     args = sys.argv[1:] if argv is None else argv
     duration_s = float(args[0]) if args else None
@@ -73,6 +87,12 @@ def main(argv=None):
     print("wireless_campus %s" % wireless_campus_digest(**kwargs))
     digest = distributed_wireless_digest(**kwargs)
     print("distributed_wireless_campus %s" % digest)
+    # The canonical schedule needs ~9.3 s to fully heal, so never run
+    # the chaos scenario shorter than its default window.
+    chaos_kwargs = (
+        {} if duration_s is None else {"duration_s": max(duration_s, 12.0)}
+    )
+    print("chaos_campus %s" % chaos_campus_digest(**chaos_kwargs))
     return 0
 
 

@@ -16,8 +16,32 @@ directly.
 
 from __future__ import annotations
 
+from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.sim.rng import SeededRng
+
+
+class UnderlayCounters(Counters):
+    """Delivery accounting for one underlay network.
+
+    ``dropped_packets`` counts every loss; ``blackholed`` is the subset
+    lost *toward a dead device* — a detached or IGP-silenced RLOC at
+    send time, or a device that detached while the packet was in
+    flight.  Partition drops (no live path between two healthy nodes)
+    stay out of ``blackholed``, so the chaos suite can tell "the wire
+    is cut" from "the box is gone" in one counter diff.
+    """
+
+    FIELDS = (
+        "delivered_packets",
+        "dropped_packets",
+        "blackholed",
+        "bytes_delivered",
+    )
+
+    METRIC_NAMES = {
+        "blackholed": "packets_blackholed",
+    }
 
 
 class _Attachment:
@@ -60,9 +84,38 @@ class UnderlayNetwork:
         self._attachments = {}        # rloc -> _Attachment
         self._path_cache = {}         # (src node, dst node) -> (delay, hops) at version
         self._path_cache_version = -1
-        self.delivered_packets = 0
-        self.dropped_packets = 0
-        self.bytes_delivered = 0
+        self.counters = UnderlayCounters()
+
+    # -- counter compatibility -----------------------------------------------------
+    # The legacy attribute spellings predate the Counters block; every
+    # existing caller (tests, experiments) keeps working through these.
+    @property
+    def delivered_packets(self):
+        return self.counters.delivered_packets
+
+    @delivered_packets.setter
+    def delivered_packets(self, value):
+        self.counters.delivered_packets = value
+
+    @property
+    def dropped_packets(self):
+        return self.counters.dropped_packets
+
+    @dropped_packets.setter
+    def dropped_packets(self, value):
+        self.counters.dropped_packets = value
+
+    @property
+    def bytes_delivered(self):
+        return self.counters.bytes_delivered
+
+    @bytes_delivered.setter
+    def bytes_delivered(self, value):
+        self.counters.bytes_delivered = value
+
+    @property
+    def blackholed(self):
+        return self.counters.blackholed
 
     # -- attachment ------------------------------------------------------------------
     def attach(self, rloc, node, deliver):
@@ -181,14 +234,17 @@ class UnderlayNetwork:
         if src is None:
             raise ConfigurationError("send from unattached RLOC %s" % from_rloc)
         if dst is None or not dst.announced:
-            self.dropped_packets += packet.train
+            # Destination device is detached or silenced: a blackhole,
+            # not a routing failure.
+            self.counters.dropped_packets += packet.train
+            self.counters.blackholed += packet.train
             return False
         path = self._paths().get((src.node, dst.node))
         if path is None:
             path = self._compute_path(src.node, dst.node)
             self._paths()[(src.node, dst.node)] = path
         if path is None:
-            self.dropped_packets += packet.train
+            self.counters.dropped_packets += packet.train
             return False
         delay, hops = path
         # Serialization on each hop, modelled once at the narrowest assumption
@@ -209,8 +265,9 @@ class UnderlayNetwork:
         # or gone silent while the packet was in flight.
         live = self._attachments.get(attachment.rloc)
         if live is None:
-            self.dropped_packets += packet.train
+            self.counters.dropped_packets += packet.train
+            self.counters.blackholed += packet.train
             return
-        self.delivered_packets += packet.train
-        self.bytes_delivered += packet.size * packet.train
+        self.counters.delivered_packets += packet.train
+        self.counters.bytes_delivered += packet.size * packet.train
         live.deliver(packet)

@@ -46,7 +46,8 @@ class WirelessConfig:
     def __init__(self, aps_per_edge=1, wlc_service_s=150e-6,
                  air_delay_s=AIR_DELAY_S, uplink_delay_s=UPLINK_DELAY_S,
                  register_families=("ipv4", "mac"),
-                 batching=False, register_flush_s=2e-3):
+                 batching=False, register_flush_s=2e-3,
+                 register_retry=None):
         if aps_per_edge < 1:
             raise ConfigurationError("need at least one AP per edge")
         self.aps_per_edge = aps_per_edge
@@ -58,6 +59,9 @@ class WirelessConfig:
         #: registers per routing server within this flush window
         self.batching = batching
         self.register_flush_s = register_flush_s
+        #: chaos-suite recovery: a RetryPolicy for unacked registrations
+        #: (None keeps the one-shot baseline)
+        self.register_retry = register_retry
 
 
 class WirelessFabric:
@@ -78,6 +82,7 @@ class WirelessFabric:
             register_families=cfg.register_families,
             batching=cfg.batching,
             register_flush_s=cfg.register_flush_s,
+            register_retry=cfg.register_retry,
         )
         self.aps = []
         for edge in net.edges:

@@ -43,6 +43,7 @@ from repro.lisp.messages import (
     next_nonce,
 )
 from repro.policy.server import AccessRequest, AccessResult
+from repro.sim.rng import SeededRng
 
 
 class FabricWlcStats(Counters):
@@ -62,6 +63,8 @@ class FabricWlcStats(Counters):
         "registrar_acks_received",
         "stale_edge_notifies",
         "handoffs_out",
+        "register_retries_sent",
+        "register_retry_exhausted",
     )
 
 
@@ -98,7 +101,8 @@ class FabricWlc:
     def __init__(self, sim, underlay, rloc, node, register_rlocs,
                  policy_server_rloc, dhcp, service_s=150e-6,
                  register_families=("ipv4", "mac"),
-                 batching=False, register_flush_s=2e-3):
+                 batching=False, register_flush_s=2e-3,
+                 register_retry=None, seed=37):
         self.sim = sim
         self.underlay = underlay
         self.rloc = rloc
@@ -111,6 +115,12 @@ class FabricWlc:
         self.register_families = tuple(register_families)
         self.batching = batching
         self.register_flush_s = register_flush_s
+        #: chaos-suite knob (off by default): resend a registration whose
+        #: ack never came.  The registrar already asks for acks — without
+        #: the retry, a lost Map-Register (or a crashed routing server)
+        #: strands the station's location until its next roam.
+        self.register_retry = register_retry
+        self._rng = SeededRng(seed).spawn("wlc")
         self._batchers = {}       # server rloc -> Batcher of EidRecord
         self._batch_nonce = {}    # server rloc -> nonce of the open batch
         #: observability hook: Histogram wired onto every Batcher this
@@ -285,10 +295,12 @@ class FabricWlc:
                     # delayed ack from an older registration at the
                     # *same* edge (an A->B->A bounce under backlog)
                     # cannot complete the newer one.
-                    self._pending_register[(int(station.vn), eid)] = (
+                    key = (int(station.vn), eid)
+                    self._pending_register[key] = (
                         station, stale, t0, eid.family == "ipv4",
                         register.nonce, reg_span,
                     )
+                    self._arm_register_retry(key, register.nonce, 0)
                 self.stats.registers_sent += 1
                 self._send(server_rloc, register)
                 ack = False  # one ack per EID is enough
@@ -312,10 +324,12 @@ class FabricWlc:
                     # per-message one.  (The flushed batch message mixes
                     # stations, so it carries no single trace context;
                     # the per-station reg_span still closes on its ack.)
-                    self._pending_register[(int(station.vn), eid)] = (
+                    key = (int(station.vn), eid)
+                    self._pending_register[key] = (
                         station, stale, t0, eid.family == "ipv4", nonce,
                         reg_span,
                     )
+                    self._arm_register_retry(key, nonce, 0)
 
     def _submit_record(self, server_rloc, record):
         """Queue a record on a server's open batch; returns its nonce.
@@ -357,6 +371,51 @@ class FabricWlc:
         self.stats.registers_sent += 1
         self.stats.register_batches_sent += 1
         self._send(server_rloc, register)
+
+    # ------------------------------------------------------------------ registration retry
+    def _arm_register_retry(self, key, nonce, attempt):
+        """Chaos-suite resend timer for one pinned registration instance."""
+        if self.register_retry is None:
+            return
+        self.sim.schedule(self.register_retry.delay_s(attempt, self._rng),
+                          self._check_register_ack, key, nonce, attempt)
+
+    def _check_register_ack(self, key, nonce, attempt):
+        pending = self._pending_register.get(key)
+        if pending is None or pending[4] != nonce:
+            return  # acked, withdrawn, or superseded by a newer roam
+        station, stale, t0, is_completion, _nonce, reg_span = pending
+        # Re-register from *current* truth, not the original snapshot:
+        # the station may have roamed while the ack was outstanding.
+        edge = self._registered_edge.get(station.identity)
+        if edge is None:
+            del self._pending_register[key]
+            return  # withdrawn in the meantime; nothing to claim
+        if self.register_retry.exhausted(attempt):
+            del self._pending_register[key]
+            self.stats.register_retry_exhausted += 1
+            reg_span.finish(outcome="retry_exhausted")
+            return
+        self.stats.register_retries_sent += 1
+        vn, eid = key
+        ack = True
+        for server_rloc in self.register_rlocs:
+            register = MapRegister(
+                vn, eid, edge.rloc, station.group,
+                mac=station.mac if eid.family != "mac" else None,
+                mobility=False,
+                registrar_rloc=self.rloc if ack else None,
+            )
+            register.trace_ctx = reg_span.ctx
+            if ack:
+                self._pending_register[key] = (
+                    station, stale, t0, is_completion, register.nonce,
+                    reg_span,
+                )
+                self._arm_register_retry(key, register.nonce, attempt + 1)
+            self.stats.registers_sent += 1
+            self._send(server_rloc, register)
+            ack = False
 
     def _on_register_ack(self, notify):
         """Routing server committed proxied registration(s).

@@ -11,6 +11,9 @@
 * :mod:`repro.workloads.distributed_wireless_campus` — wireless overlays
   on every site of a federation, with walks that cross the transit
   (inter-site wireless roaming), incl. inter-site roam storms.
+* :mod:`repro.workloads.chaos_campus` — a two-border campus carrying
+  probe traffic and wireless roams while a fault schedule breaks links,
+  servers and borders (chaos suite's canonical scenario).
 * :mod:`repro.workloads.traffic` — shared flow/popularity machinery.
 """
 
@@ -38,8 +41,14 @@ from repro.workloads.wireless_campus import (
     WirelessCampusProfile,
     WirelessCampusWorkload,
 )
+from repro.workloads.chaos_campus import (
+    ChaosCampusProfile,
+    ChaosCampusWorkload,
+)
 
 __all__ = [
+    "ChaosCampusProfile",
+    "ChaosCampusWorkload",
     "DistributedCampusProfile",
     "DistributedCampusWorkload",
     "DistributedWirelessCampusProfile",

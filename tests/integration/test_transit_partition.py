@@ -1,0 +1,140 @@
+"""Integration: transit partitions and transit-border takeover.
+
+The federation-level chaos scenarios: a site losing its WAN links
+(split brain between the home site's anchor state and the foreign
+site's serving state) and a transit border dying with a warm standby
+taking over its transit RLOC and away anchors.
+"""
+
+import pytest
+
+from repro.chaos import stale_mappings
+from repro.core.retry import RetryPolicy
+from repro.multisite import MultiSiteConfig, MultiSiteNetwork
+
+
+RETRY = RetryPolicy(base_s=0.1, multiplier=2.0, max_delay_s=0.5,
+                    max_attempts=8)
+
+
+def _build(**overrides):
+    config = dict(
+        num_sites=2, edges_per_site=2, borders_per_site=2, seed=47,
+        register_retry=RETRY, register_refresh_s=1.0,
+        transit_retry=RETRY, away_refresh_s=1.0, away_anchor_ttl_s=4.0,
+    )
+    config.update(overrides)
+    net = MultiSiteNetwork(MultiSiteConfig(**config))
+    net.define_vn("corp", 100, "10.16.0.0/15")
+    net.define_group("users", 1, 100)
+    return net
+
+
+def _onboard(net, identity, site, edge=0):
+    endpoint = net.create_endpoint(identity, "users", 100)
+    net.admit(endpoint, site, edge)
+    net.settle()
+    return endpoint
+
+
+def test_partition_blackholes_then_heals():
+    net = _build()
+    a = _onboard(net, "a", 0)
+    b = _onboard(net, "b", 1)
+    # Warm the inter-site path.
+    net.send(a, b)
+    net.settle()
+    received = b.packets_received
+    net.partition_site(1)
+    net.send(a, b)
+    net.run_for(5.0)
+    net.settle()
+    assert b.packets_received == received   # dark during the partition
+    net.heal_site(1)
+    net.run_for(2.0)
+    net.settle()
+    net.send(a, b)
+    net.run_for(5.0)
+    net.settle()
+    assert b.packets_received == received + 1
+    assert stale_mappings(net) == []
+
+
+def test_partition_split_brain_anchor_reconciles():
+    """An away anchor whose foreign site is partitioned goes stale; the
+    TTL sweep retires it, and the post-heal refresh re-creates it — no
+    permanently stale mapping on either side."""
+    net = _build()
+    a = _onboard(net, "a", 0)
+    _onboard(net, "b", 1)
+    # a roams out: site 1 serves it, site 0 anchors it at the home border.
+    net.roam(a, 1, 0)
+    net.settle()
+    home_border = net.transit_borders[0]
+    key = (100, a.ip.to_prefix())
+    assert key in home_border._away
+    net.partition_site(1)
+    # Refreshes from site 1 cannot reach site 0; the anchor TTL expires.
+    net.run_for(8.0)
+    net.settle()
+    assert key not in home_border._away
+    assert home_border.counters.away_anchors_expired >= 1
+    net.heal_site(1)
+    # The foreign side's periodic away refresh restores the anchor.
+    net.run_for(4.0)
+    net.settle()
+    assert key in home_border._away
+    assert stale_mappings(net) == []
+
+
+def test_transit_border_takeover_and_handback():
+    net = _build()
+    a = _onboard(net, "a", 0)
+    b = _onboard(net, "b", 1)
+    # a roams out to site 1: the site-0 transit border anchors it.
+    net.roam(a, 1, 1)
+    net.settle()
+    dead = net.transit_borders[0]
+    survivor = net.standby_borders[0]
+    assert survivor is not None
+    snapshot = net.fail_transit_border(0)
+    assert snapshot   # the anchor travelled in the snapshot
+    assert survivor.counters.away_anchors_adopted >= 1
+    # The survivor answers for the dead border's transit RLOC, so
+    # remote state stays valid and inter-site traffic still flows.
+    assert net.transit_underlay.attachment_node(dead.transit_rloc) \
+        == survivor.transit_node
+    net.run_for(2.0)
+    net.settle()
+    received = b.packets_received
+    net.send(a, b)
+    net.run_for(5.0)
+    net.settle()
+    assert b.packets_received == received + 1
+    # Hairpin through the adopted anchor: home-site traffic to the
+    # roamed-out endpoint reaches it at the foreign site.
+    c = _onboard(net, "c", 0, 1)
+    got = a.packets_received
+    net.send(c, a)
+    net.run_for(5.0)
+    net.settle()
+    assert a.packets_received == got + 1
+    # Heal: the dead border recovers and reclaims its transit RLOC.
+    net.heal_transit_border(0)
+    net.run_for(6.0)
+    net.settle()
+    assert net.transit_underlay.attachment_node(dead.transit_rloc) \
+        == dead.transit_node
+    assert dead.counters.recoveries == 1
+    net.send(c, a)
+    net.run_for(5.0)
+    net.settle()
+    assert a.packets_received == got + 2
+    assert stale_mappings(net) == []
+
+
+def test_takeover_requires_standby():
+    net = _build(borders_per_site=1)
+    from repro.core.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        net.fail_transit_border(0)

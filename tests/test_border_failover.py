@@ -1,0 +1,117 @@
+"""Border death, edge failover, and away-anchor adoption."""
+
+import pytest
+
+from repro.fabric import FabricConfig, FabricNetwork
+from repro.net.addresses import IPv4Address
+from tests.conftest import admit_and_settle
+
+
+def _build(**overrides):
+    config = dict(num_borders=2, num_edges=4, seed=31, border_failover=True)
+    config.update(overrides)
+    net = FabricNetwork(FabricConfig(**config))
+    net.define_vn("corp", 100, "10.8.0.0/16")
+    net.define_group("users", 1, 100)
+    return net
+
+
+def test_edges_get_backup_borders_only_when_enabled():
+    net = _build()
+    assert len(net.edges[0]._border_rlocs) == 2
+    baseline = FabricNetwork(FabricConfig(num_borders=2, num_edges=2, seed=3))
+    assert len(baseline.edges[0]._border_rlocs) == 1
+
+
+def test_edge_fails_over_to_surviving_border():
+    net = _build()
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    edge = net.edges[0]
+    primary = net.borders[0]
+    assert edge.border_rloc == primary.rloc
+    net.fail_border(0)
+    net.run_for(1.0)
+    net.settle()
+    assert edge.border_rloc == net.borders[1].rloc
+    assert edge.counters.border_failovers >= 1
+    # External traffic still leaves the fabric via the survivor.
+    sent = []
+    net.borders[1].external_sink = lambda vn, packet: sent.append(packet)
+    net.send(a, IPv4Address.parse("8.8.8.8"))
+    net.settle()
+    assert len(sent) == 1
+
+
+def test_failover_is_sticky_across_recovery():
+    net = _build()
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    edge = net.edges[0]
+    net.fail_border(0)
+    net.run_for(1.0)
+    net.settle()
+    survivor = edge.border_rloc
+    assert survivor == net.borders[1].rloc
+    net.recover_border(0)
+    net.run_for(1.0)
+    net.settle()
+    # No fail-back churn: the survivor keeps the default route.
+    assert edge.border_rloc == survivor
+
+
+def test_border_recovery_resyncs_fib_via_pubsub():
+    net = _build()
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    border = net.borders[0]
+    synced_before = border.synced.count()
+    assert synced_before > 0
+    net.fail_border(0)
+    assert border.synced.count() == 0
+    assert border.counters.crashes == 1
+    # Registrations landing while the border is dead...
+    b = net.create_endpoint("b", "users", 100)
+    admit_and_settle(net, b, 1)
+    net.recover_border(0)
+    net.settle()
+    # ...appear in the recovered FIB through the re-subscription push.
+    assert border.counters.recoveries == 1
+    assert border.synced.count() >= synced_before + 1
+    assert border.synced.lookup_exact(
+        100, b.ip.to_prefix()) is not None
+
+
+def test_megaflow_epochs_flushed_on_failover():
+    net = _build(megaflow=True)
+    a = net.create_endpoint("a", "users", 100)
+    b = net.create_endpoint("b", "users", 100)
+    admit_and_settle(net, a, 0)
+    admit_and_settle(net, b, 1)
+    net.send(a, b.ip)
+    net.settle()
+    net.send(a, b.ip)
+    net.settle()
+    edge = net.edges[0]
+    flushes_before = edge.megaflow.flushes
+    net.fail_border(0)
+    net.run_for(1.0)
+    net.settle()
+    # The failover started a new invalidation epoch: every memoized
+    # decision is recomputed against the surviving border.
+    assert edge.counters.border_failovers >= 1
+    assert edge.megaflow.flushes > flushes_before
+
+
+def test_failed_border_drops_traffic_silently():
+    net = _build()
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    border = net.borders[0]
+    snapshot = border.fail()
+    assert snapshot == {}   # single-site: no away anchors to adopt
+    # Packets handed to a dead process vanish (the RLOC is dark too).
+    before = border.counters.packets_in
+    net.send(a, IPv4Address.parse("8.8.8.8"))
+    net.settle()
+    assert border.counters.packets_in == before

@@ -1,0 +1,60 @@
+"""Unit tests for the shared RetryPolicy (chaos-suite recovery core)."""
+
+import pytest
+
+from repro.core import RetryPolicy
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+
+
+def test_exponential_backoff_with_cap():
+    policy = RetryPolicy(base_s=0.2, multiplier=2.0, max_delay_s=1.0,
+                         max_attempts=6, jitter=0.0)
+    assert policy.delay_s(0) == pytest.approx(0.2)
+    assert policy.delay_s(1) == pytest.approx(0.4)
+    assert policy.delay_s(2) == pytest.approx(0.8)
+    # Capped from attempt 3 on.
+    assert policy.delay_s(3) == pytest.approx(1.0)
+    assert policy.delay_s(10) == pytest.approx(1.0)
+
+
+def test_exhaustion_boundary():
+    policy = RetryPolicy(max_attempts=3)
+    assert not policy.exhausted(0)
+    assert not policy.exhausted(2)
+    assert policy.exhausted(3)
+    assert policy.exhausted(7)
+
+
+def test_jitter_is_bounded_and_seeded():
+    policy = RetryPolicy(base_s=0.5, multiplier=1.0, max_delay_s=0.5,
+                         jitter=0.2)
+    base = policy.delay_s(0)
+    assert base == pytest.approx(0.5)
+    delays = [policy.delay_s(0, SeededRng(7)) for _ in range(3)]
+    # Same fresh seed -> same jittered delay; always within the band.
+    assert delays[0] == delays[1] == delays[2]
+    assert 0.5 <= delays[0] <= 0.5 * 1.2
+    other = policy.delay_s(0, SeededRng(8))
+    assert other != delays[0]
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base_s=0.0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter=-0.1)
+
+
+def test_policy_is_stateless_config():
+    """One policy object can serve many devices concurrently."""
+    policy = RetryPolicy()
+    snapshot = [getattr(policy, slot) for slot in RetryPolicy.__slots__]
+    policy.delay_s(4, SeededRng(3))
+    policy.exhausted(2)
+    assert [getattr(policy, slot) for slot in RetryPolicy.__slots__] \
+        == snapshot

@@ -1,0 +1,162 @@
+"""Routing-server crash / cold-restart recovery semantics."""
+
+import pytest
+
+from repro.core.retry import RetryPolicy
+from repro.fabric import FabricConfig, FabricNetwork
+from repro.net.addresses import Prefix
+from tests.conftest import admit_and_settle
+
+
+def _build(**overrides):
+    config = dict(num_borders=1, num_edges=3, seed=29)
+    config.update(overrides)
+    net = FabricNetwork(FabricConfig(**config))
+    net.define_vn("corp", 100, "10.6.0.0/16")
+    net.define_group("users", 1, 100)
+    return net
+
+
+def test_crash_drops_volatile_state_and_traffic():
+    net = _build()
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    server = net.routing_server
+    assert server.database.count() > 0
+    server.crash()
+    assert server.crashed
+    assert server.stats.crashes == 1
+    # Volatile map state is gone; the RLOC no longer answers.
+    assert server.database.count(family="ipv4") == 0
+    assert net.underlay.reachable(net.edges[0].rloc, server.rloc) is False
+
+
+def test_restart_replays_configured_delegates_only():
+    net = _build()
+    server = net.routing_server
+    delegate = Prefix.parse("10.6.0.0/16")
+    server.install_delegate(100, delegate, net.borders[0].rloc)
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    host_count = server.database.count() - 1
+    assert host_count >= 1
+    server.crash()
+    server.restart()
+    assert not server.crashed and server.stats.restarts == 1
+    # Config state (the delegate) survives; host registrations do not.
+    assert server.database.lookup_exact(100, delegate) is not None
+    assert server.database.count() == 1
+
+
+def test_version_epoch_survives_cold_restart():
+    """A cache holding a pre-crash version must accept post-restart
+    mappings — the stable-storage version epoch (adopt_versions)."""
+    net = _build(register_retry=RetryPolicy(base_s=0.05, max_delay_s=0.2,
+                                            max_attempts=6),
+                 register_refresh_s=0.3)
+    a = net.create_endpoint("a", "users", 100)
+    b = net.create_endpoint("b", "users", 100)
+    admit_and_settle(net, a, 0)
+    admit_and_settle(net, b, 1)
+    # Edge 0 caches b's mapping at its pre-crash version.
+    net.send(a, b.ip)
+    net.settle()
+    cached = net.edges[0].map_cache.lookup(a.vn, b.ip)
+    assert cached is not None
+    pre_crash_version = cached.version
+    server = net.routing_server
+    server.crash()
+    net.run_for(0.1)
+    server.restart()
+    net.run_for(2.0)
+    net.settle()
+    # The refresh repopulated the server; the re-issued version is
+    # strictly newer than anything caches ever held.
+    record = server.database.lookup_exact(100, b.ip.to_prefix())
+    assert record is not None
+    assert record.version > pre_crash_version
+
+
+def test_messages_while_down_are_dropped_and_counted():
+    net = _build()
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    server = net.routing_server
+    server.crash()
+    # Re-announce the RLOC so packets reach the (dead) process and are
+    # dropped by it — the "process hung" flavour of the fault.
+    net.underlay.set_announced(server.rloc, True)
+    b = net.create_endpoint("b", "users", 100)
+    net.admit(b, 1)
+    net.run_for(5.0)
+    net.settle()
+    assert server.stats.dropped_while_down > 0
+    assert server.database.count(family="ipv4") == 0
+
+
+def test_registration_ttl_sweep_expires_unrefreshed_hosts():
+    net = _build(registration_ttl_s=1.0, registration_sweep_s=0.5)
+    server = net.routing_server
+    delegate = Prefix.parse("10.6.0.0/16")
+    server.install_delegate(100, delegate, net.borders[0].rloc)
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    assert server.database.lookup_exact(100, a.ip.to_prefix()) is not None
+    # No refresh configured: the host registration ages out...
+    net.run_for(3.0)
+    net.settle()
+    assert server.stats.expired_registrations > 0
+    assert server.database.lookup_exact(100, a.ip.to_prefix()) is None
+    # ...but the configured delegate is not soft state.
+    assert server.database.lookup_exact(100, delegate) is not None
+
+
+def test_refresh_keeps_registrations_alive_through_sweep():
+    net = _build(registration_ttl_s=1.0, registration_sweep_s=0.5,
+                 register_refresh_s=0.4)
+    server = net.routing_server
+    a = net.create_endpoint("a", "users", 100)
+    admit_and_settle(net, a, 0)
+    net.run_for(3.0)
+    net.settle()
+    assert server.database.lookup_exact(100, a.ip.to_prefix()) is not None
+
+
+def test_edge_retries_unacked_registers_until_server_returns():
+    net = _build(register_retry=RetryPolicy(base_s=0.1, multiplier=2.0,
+                                            max_delay_s=0.5,
+                                            max_attempts=8))
+    server = net.routing_server
+    server.crash()
+    a = net.create_endpoint("a", "users", 100)
+    net.admit(a, 0)
+    net.run_for(0.5)
+    assert net.edges[0].counters.register_retries_sent > 0
+    server.restart()
+    net.run_for(3.0)
+    net.settle()
+    # A retry landed after the restart; the mapping is back.
+    assert server.database.lookup_exact(100, a.ip.to_prefix()) is not None
+    assert net.edges[0].counters.register_acks_received > 0
+
+
+def test_retry_gives_up_after_exhaustion():
+    net = _build(register_retry=RetryPolicy(base_s=0.05, multiplier=1.0,
+                                            max_delay_s=0.05,
+                                            max_attempts=2))
+    net.routing_server.crash()
+    a = net.create_endpoint("a", "users", 100)
+    net.admit(a, 0)
+    net.run_for(5.0)
+    net.settle()
+    assert net.edges[0].counters.register_retry_exhausted > 0
+
+
+def test_crash_is_idempotent_and_restart_requires_crash():
+    net = _build()
+    server = net.routing_server
+    server.restart()          # not crashed: no-op
+    assert server.stats.restarts == 0
+    server.crash()
+    server.crash()            # double crash: one event
+    assert server.stats.crashes == 1
