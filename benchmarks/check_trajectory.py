@@ -42,6 +42,7 @@ GATED_SUFFIXES = (
     ("_p50_s", False),
     ("_p99_s", False),
     ("mapserver_msgs_per_roam", False),
+    ("goodput_ratio", True),
 )
 
 #: additionally gated with --wallclock (higher is better)

@@ -86,11 +86,26 @@ def _check_server(label, server, expected, anchors=None, anchor_rlocs=()):
     return violations
 
 
+def _active_overload_feeds(label, fabric):
+    """An unrelieved request storm is itself a violation.
+
+    Shedding under overload may *delay* state convergence but never
+    corrupt it — so the healed-state contract is only claimable once
+    the storm has been relieved.  Flagging live feeds here makes
+    ``assert_healed`` reject schedules that never heal an ``overload``
+    fault instead of passing vacuously on whatever state survived.
+    """
+    return [
+        "%s: overload feed still active on server%d" % (label, index)
+        for index in sorted(getattr(fabric, "_overload_feeds", {}))
+    ]
+
+
 def stale_mappings(net):
     """All oracle violations of a fabric or federation (empty == healed)."""
     if hasattr(net, "sites"):
         return _stale_multisite(net)
-    violations = []
+    violations = _active_overload_feeds("fabric", net)
     expected = expected_registrations(net)
     for index, server in enumerate(net.routing_servers):
         violations.extend(
@@ -110,6 +125,7 @@ def _stale_multisite(net):
         key = (int(endpoint.vn), endpoint.ip.to_prefix())
         away_by_home.setdefault(home, {})[key] = identity
     for index, site in enumerate(net.sites):
+        violations.extend(_active_overload_feeds("site%d" % index, site))
         expected = expected_registrations(site)
         anchors = away_by_home.get(index, {})
         anchor_rlocs = {

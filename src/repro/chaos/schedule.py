@@ -30,7 +30,9 @@ from repro.core.errors import ConfigurationError
 
 #: fault kind -> (inject verb, heal verb) resolved on the target network.
 #: The first four exist on :class:`~repro.fabric.network.FabricNetwork`;
-#: the last two only on :class:`~repro.multisite.network.MultiSiteNetwork`.
+#: ``site_partition`` and ``transit_border`` only on
+#: :class:`~repro.multisite.network.MultiSiteNetwork`; ``overload``
+#: (a synthetic request storm) on both.
 KIND_VERBS = {
     "link": ("fail_link", "heal_link"),
     "node": ("fail_node", "heal_node"),
@@ -38,6 +40,7 @@ KIND_VERBS = {
     "border": ("fail_border", "recover_border"),
     "site_partition": ("partition_site", "heal_site"),
     "transit_border": ("fail_transit_border", "heal_transit_border"),
+    "overload": ("overload_server", "relieve_server"),
 }
 
 

@@ -6,8 +6,14 @@ hierarchy used throughout the library.
 """
 
 from repro.core.batching import Batcher
+from repro.core.breaker import BreakerPolicy, CircuitBreaker
 from repro.core.counters import Counters
-from repro.core.queueing import SerialQueue
+from repro.core.queueing import (
+    PRIO_BULK,
+    PRIO_CRITICAL,
+    PRIO_NORMAL,
+    SerialQueue,
+)
 from repro.core.retry import RetryPolicy
 from repro.core.errors import (
     ReproError,
@@ -31,7 +37,12 @@ from repro.core.types import (
 
 __all__ = [
     "Batcher",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "Counters",
+    "PRIO_BULK",
+    "PRIO_CRITICAL",
+    "PRIO_NORMAL",
     "RetryPolicy",
     "SerialQueue",
     "ReproError",

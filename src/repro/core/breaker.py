@@ -1,0 +1,123 @@
+"""Circuit breakers: keep retry storms from amplifying an outage.
+
+``RetryPolicy`` (PR 7) makes every device retry an unacked registration
+with exponential backoff — correct for one lost message, but when a map
+server is down or drowning, a whole fabric of independent retriers turns
+into a synchronized storm that arrives exactly when the server tries to
+come back.  A :class:`CircuitBreaker` sits in front of each retry path
+and counts consecutive failures per dependency: past a threshold it
+*opens* and the device stops sending entirely for a cool-down window,
+then *half-opens* and risks a single probe.  A successful probe closes
+the breaker; a failed one re-opens it.
+
+The cool-down is jittered through the caller's seeded RNG so a fleet of
+breakers tripped by the same outage de-synchronizes its probes — same
+determinism contract as ``RetryPolicy.delay_s`` (and the same rule: a
+jittered policy without an RNG is a configuration error, never a silent
+no-jitter fallback).
+
+Split like the retry module: :class:`BreakerPolicy` is pure shared
+configuration, :class:`CircuitBreaker` is the per-(device, dependency)
+state machine.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class BreakerPolicy:
+    """Pure configuration; one instance can serve every breaker."""
+
+    __slots__ = ("failure_threshold", "reset_timeout_s", "jitter")
+
+    def __init__(self, failure_threshold=4, reset_timeout_s=2.0, jitter=0.1):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0.0:
+            raise ConfigurationError("reset_timeout_s must be > 0")
+        if jitter < 0.0:
+            raise ConfigurationError("jitter must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.jitter = jitter
+
+    def __repr__(self):
+        return ("BreakerPolicy(failure_threshold=%d, reset_timeout_s=%s, "
+                "jitter=%s)" % (self.failure_threshold, self.reset_timeout_s,
+                                self.jitter))
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open state machine over one dependency.
+
+    Protocol: call :meth:`allow` before each send; on an ack call
+    :meth:`record_success`, on a timeout :meth:`record_failure`.  While
+    open, :meth:`allow` refuses until the (jittered) reset timeout
+    elapses; the first allowed call after that is the half-open probe,
+    and its outcome closes or re-trips the breaker.
+    """
+
+    __slots__ = ("sim", "policy", "_rng", "state", "failures", "opens",
+                 "rejections", "probes", "_retry_at")
+
+    def __init__(self, sim, policy, rng=None):
+        if policy.jitter and rng is None:
+            raise ConfigurationError(
+                "BreakerPolicy has jitter=%s but no rng was supplied; "
+                "seeded jitter is required for deterministic probing"
+                % policy.jitter)
+        self.sim = sim
+        self.policy = policy
+        self._rng = rng
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.opens = 0
+        self.rejections = 0
+        self.probes = 0
+        self._retry_at = 0.0
+
+    def allow(self):
+        """True if a send may go out right now."""
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN and self.sim.now >= self._retry_at:
+            self.state = STATE_HALF_OPEN
+            self.probes += 1
+            return True
+        # Open and cooling down, or half-open with the probe in flight.
+        self.rejections += 1
+        return False
+
+    def record_success(self):
+        self.state = STATE_CLOSED
+        self.failures = 0
+
+    def record_failure(self):
+        if self.state == STATE_HALF_OPEN:
+            self._trip()
+            return
+        self.failures += 1
+        if self.state == STATE_CLOSED \
+                and self.failures >= self.policy.failure_threshold:
+            self._trip()
+
+    def _trip(self):
+        self.state = STATE_OPEN
+        self.opens += 1
+        self.failures = 0
+        timeout = self.policy.reset_timeout_s
+        if self.policy.jitter:
+            timeout += self._rng.uniform(0.0, timeout * self.policy.jitter)
+        self._retry_at = self.sim.now + timeout
+
+    @property
+    def remaining_s(self):
+        """Seconds until an open breaker will half-open (0 otherwise)."""
+        if self.state != STATE_OPEN:
+            return 0.0
+        return max(0.0, self._retry_at - self.sim.now)

@@ -59,10 +59,22 @@ class RetryPolicy:
         self.jitter = jitter
 
     def delay_s(self, attempt, rng=None):
-        """Backoff delay before retry number ``attempt`` (0-based)."""
+        """Backoff delay before retry number ``attempt`` (0-based).
+
+        A jittered policy *requires* the caller's seeded ``rng``:
+        silently skipping the jitter would re-synchronize every
+        retrier in the fabric (the exact storm the jitter exists to
+        break up) while looking configured, so that mismatch is a
+        loud configuration error instead.
+        """
         delay = min(self.base_s * self.multiplier ** attempt,
                     self.max_delay_s)
-        if self.jitter and rng is not None:
+        if self.jitter:
+            if rng is None:
+                raise ConfigurationError(
+                    "RetryPolicy has jitter=%s but delay_s() was called "
+                    "without an rng; pass the device's SeededRng (or "
+                    "configure jitter=0)" % self.jitter)
             delay += rng.uniform(0.0, delay * self.jitter)
         return delay
 

@@ -17,6 +17,7 @@ stale-mapping refresh (fig. 6).
 from __future__ import annotations
 
 from repro.core.batching import Batcher
+from repro.core.breaker import CircuitBreaker
 from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.lisp.mapcache import MapCache
@@ -120,7 +121,8 @@ class EdgeRouter:
                  batching=False, register_flush_s=2e-3,
                  megaflow=False, megaflow_max_entries=4096,
                  register_retry=None, register_refresh_s=None,
-                 backup_border_rlocs=(), seed=29):
+                 backup_border_rlocs=(), seed=29,
+                 backpressure=False, breaker=None, serve_stale_s=None):
         self.sim = sim
         self.name = name
         self.rloc = rloc
@@ -173,6 +175,21 @@ class EdgeRouter:
         #: feeds its registration TTL sweep.
         self.register_refresh_s = register_refresh_s
         self._pending_registers = {}   # nonce -> (server rloc, records, attempt)
+        #: overload armor (all default off, zero-footprint): react to
+        #: the server's in-band overloaded bit by widening the batch
+        #: flush window and stretching the refresh period...
+        self.backpressure = backpressure
+        self._bp_factor = 1.0
+        self.bp_max_factor = 8.0
+        self.bp_overload_acks = 0
+        #: ...and gate registration retries behind a per-server circuit
+        #: breaker so a fleet of retriers cannot storm a drowning server.
+        self.breaker_policy = breaker
+        self._breakers = {}            # server rloc -> CircuitBreaker
+        self.breaker_deferrals = 0
+        #: data packets forwarded on a stale (expired, in the
+        #: serve-stale window) map-cache entry while re-resolving
+        self.stale_served = 0
         self._rng = SeededRng(seed).spawn(name)
         #: VRRP-less border redundancy: when the IGP declares the
         #: current border dead, rotate to the next reachable backup.
@@ -186,7 +203,9 @@ class EdgeRouter:
         self.megaflow = MegaflowCache(megaflow_max_entries) if megaflow else None
 
         self.vrf = VrfTable()
-        self.map_cache = MapCache(sim, default_ttl=map_cache_ttl, negative_ttl=negative_ttl)
+        self.map_cache = MapCache(sim, default_ttl=map_cache_ttl,
+                                  negative_ttl=negative_ttl,
+                                  serve_stale_s=serve_stale_s)
         self.acl = GroupAcl()
         self.counters = EdgeRouterCounters()
         self.l2_gateway = None    # set by repro.fabric.l2 when L2 services are on
@@ -317,13 +336,15 @@ class EdgeRouter:
         if on_complete is not None:
             on_complete(endpoint, True)
 
-    def _register_endpoint(self, endpoint, roaming):
+    def _register_endpoint(self, endpoint, roaming, refresh=False):
         """Map-Register all three EIDs (IPv4, IPv6, MAC) — sec. 4.1.
 
         IP registrations carry the endpoint MAC so the routing server can
         answer ARP-style IP-to-MAC lookups (sec. 3.5).  With batching on
         the families ride one multi-record message per server (plus
         whatever other endpoints register within the flush window).
+        ``refresh`` marks periodic keepalives so a bounded map server
+        can shed them first under overload.
         """
         for eid in self._endpoint_eids(endpoint):
             if eid.family not in self.register_families:
@@ -333,13 +354,13 @@ class EdgeRouter:
                     self._submit_register_record(server_rloc, EidRecord(
                         endpoint.vn, eid, self.rloc, group=endpoint.group,
                         mac=endpoint.mac if eid.family != "mac" else None,
-                        mobility=roaming,
+                        mobility=roaming, refresh=refresh,
                     ))
                     continue
                 register = MapRegister(
                     endpoint.vn, eid, self.rloc, endpoint.group,
                     mac=endpoint.mac if eid.family != "mac" else None,
-                    mobility=roaming,
+                    mobility=roaming, refresh=refresh,
                     registrar_rloc=(self.rloc if self.register_retry
                                     else None),
                 )
@@ -355,7 +376,7 @@ class EdgeRouter:
                 self.sim,
                 lambda records, rloc=server_rloc:
                     self._flush_registers(rloc, records),
-                window_s=self.register_flush_s,
+                window_s=self.register_flush_s * self._bp_factor,
             )
             self._register_batchers[server_rloc] = batcher
         batcher.submit(record)
@@ -405,11 +426,34 @@ class EdgeRouter:
         )
         if not any(not record.withdraw for record in survivors):
             return  # nothing acked is left to claim
+        if self.breaker_policy is not None:
+            breaker = self._breaker(server_rloc)
+            breaker.record_failure()
+            if not breaker.allow():
+                # Breaker open: hold the pending registration instead of
+                # feeding the retry storm; probe when it half-opens.
+                # The attempt is not burned.
+                self.breaker_deferrals += 1
+                self._pending_registers[nonce] = (server_rloc, records,
+                                                  attempt)
+                self.sim.schedule(
+                    max(breaker.remaining_s, self.register_retry.base_s),
+                    self._check_register, nonce,
+                )
+                return
         self.counters.register_retries_sent += 1
         self.counters.map_registers_sent += 1
         retry = MapRegister(records=survivors, registrar_rloc=self.rloc)
         self._track_register(server_rloc, retry, attempt + 1)
         self._send_control(server_rloc, retry)
+
+    def _breaker(self, server_rloc):
+        breaker = self._breakers.get(server_rloc)
+        if breaker is None:
+            breaker = CircuitBreaker(self.sim, self.breaker_policy,
+                                     rng=self._rng)
+            self._breakers[server_rloc] = breaker
+        return breaker
 
     def _still_local(self, record):
         """Does this EID still belong to an endpoint attached here?"""
@@ -431,8 +475,13 @@ class EdgeRouter:
             self.counters.register_refreshes_sent += 1
             for entry in list(self.vrf.entries()):
                 if entry.endpoint.edge is self:
-                    self._register_endpoint(entry.endpoint, roaming=False)
-        self.sim.schedule_daemon(self.register_refresh_s, self._refresh_tick)
+                    self._register_endpoint(entry.endpoint, roaming=False,
+                                            refresh=True)
+        # Backpressure stretches the refresh period by the current
+        # factor (1.0 — a float no-op — unless the server signaled
+        # overload on a recent ack).
+        self.sim.schedule_daemon(self.register_refresh_s * self._bp_factor,
+                                 self._refresh_tick)
 
     def detach_endpoint(self, endpoint, deregister=False):
         """Endpoint left this edge (roam-away or shutdown).
@@ -622,6 +671,15 @@ class EdgeRouter:
 
         cache_entry = self.map_cache.lookup(vn, dst)
         if cache_entry is not None and not cache_entry.negative:
+            # Stale-while-revalidate (overload armor): the cache only
+            # returns an expired entry when the serve-stale knob is on.
+            # Keep forwarding on it — the liveness re-check below still
+            # applies — and re-resolve in the background instead of
+            # demoting the flow to the border default.
+            stale = cache_entry.expires_at <= self.sim.now
+            if stale:
+                self.stale_served += train
+                self._resolve(vn, dst)
             # Ingress enforcement ablation: we know the destination group
             # from the cached record, so policy can be applied here and
             # denied traffic never crosses the underlay.
@@ -631,7 +689,7 @@ class EdgeRouter:
                 if not self.acl.allows(src_group, cache_entry.group, train):
                     self.counters.policy_drops += train
                     self.counters.ingress_policy_drops += train
-                    if mf is not None:
+                    if mf is not None and not stale:
                         acl_key, acl_action = self.acl.action_for(
                             src_group, cache_entry.group)
                         mf.install(key, MegaflowEntry(
@@ -642,7 +700,10 @@ class EdgeRouter:
             target = cache_entry.rloc
             if self.underlay.reachable(self.rloc, target):
                 applied = self.enforcement == ENFORCE_INGRESS
-                if mf is not None:
+                # A stale decision is never megaflow-cached: staleness
+                # must be re-judged (and re-resolution re-triggered)
+                # per packet, like the miss path.
+                if mf is not None and not stale:
                     acl_key = acl_action = None
                     if ingress_enforced:
                         acl_key, acl_action = self.acl.action_for(
@@ -887,8 +948,13 @@ class EdgeRouter:
         if notify.nonce in self._pending_registers:
             # Aggregated ack for one of our own acked registrations:
             # the records are our state echoed back, nothing to apply.
+            server_rloc = self._pending_registers[notify.nonce][0]
             del self._pending_registers[notify.nonce]
             self.counters.register_acks_received += 1
+            if self.breaker_policy is not None:
+                self._breaker(server_rloc).record_success()
+            if self.backpressure:
+                self._note_backpressure(notify.overloaded)
             return
         with self.sim.tracer.span("edge_map_notify", device=self,
                                   parent=notify.trace_ctx,
@@ -916,6 +982,25 @@ class EdgeRouter:
                 group=record.group, version=record.version, ttl=ttl,
                 mac=record.mac,
             )
+
+    def _note_backpressure(self, overloaded):
+        """Adapt signaling cadence to the server's in-band overload bit.
+
+        Multiplicative increase on an overloaded ack, halving decay on a
+        clean one (AIMD-flavoured, bounded by ``bp_max_factor``).  The
+        factor widens the batch flush windows immediately and stretches
+        the refresh period at its next rearm.
+        """
+        factor = self._bp_factor
+        if overloaded:
+            self.bp_overload_acks += 1
+            factor = min(self.bp_max_factor, factor * 2.0)
+        else:
+            factor = max(1.0, factor * 0.5)
+        if factor != self._bp_factor:
+            self._bp_factor = factor
+            for batcher in self._register_batchers.values():
+                batcher.window_s = self.register_flush_s * factor
 
     def _handle_smr(self, smr):
         """Fig. 6 step 4: drop the stale mapping and re-resolve."""
@@ -980,15 +1065,19 @@ class EdgeRouter:
         self.map_cache = MapCache(
             self.sim, default_ttl=self.map_cache.default_ttl,
             negative_ttl=self.map_cache.negative_ttl,
+            serve_stale_s=self.map_cache.serve_stale_s,
         )
         self.vrf = VrfTable()
         self._mf_flush()
         self._pending_resolution = {}
         self._pending_auth = {}
         self._pending_registers = {}
+        self._breakers = {}
+        self._bp_factor = 1.0
         self._ports = {}
         for batcher in self._register_batchers.values():
             batcher.discard()
+            batcher.window_s = self.register_flush_s
         if silent_in_igp:
             self.underlay.set_announced(self.rloc, False)
         self.sim.schedule(duration_s, self._reboot_done, silent_in_igp)

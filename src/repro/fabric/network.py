@@ -22,6 +22,7 @@ from repro.fabric.l2 import L2Gateway
 from repro.net.addresses import IPv4Address, MacAddress, Prefix
 from repro.net.packet import make_udp_packet
 from repro.lisp.mapserver import RoutingServer
+from repro.lisp.messages import MapRequest
 from repro.policy.groups import SegmentationPlan
 from repro.policy.server import PolicyServer
 from repro.policy.sxp import SxpSpeaker
@@ -50,7 +51,9 @@ class FabricConfig:
                  megaflow=False, megaflow_max_entries=4096,
                  register_retry=None, register_refresh_s=None,
                  border_failover=False,
-                 registration_ttl_s=None, registration_sweep_s=None):
+                 registration_ttl_s=None, registration_sweep_s=None,
+                 server_max_pending=None, server_max_backlog_s=None,
+                 backpressure=False, breaker=None, serve_stale_s=None):
         if num_borders < 1:
             raise ConfigurationError("a fabric needs at least one border")
         if num_edges < 1:
@@ -102,6 +105,21 @@ class FabricConfig:
         self.border_failover = border_failover
         self.registration_ttl_s = registration_ttl_s
         self.registration_sweep_s = registration_sweep_s
+        #: overload-armor knobs (all off by default — with every knob at
+        #: its default the fabric is bit-identical to the unarmored
+        #: build): ``server_max_pending`` / ``server_max_backlog_s``
+        #: bound each routing server's FIFO (admission control with
+        #: priority classes kicks in once bounded);  ``backpressure``
+        #: makes edges react to the in-band overloaded bit on acks by
+        #: widening batch windows and stretching refresh periods;
+        #: ``breaker`` is a :class:`repro.core.BreakerPolicy` wrapping
+        #: the register-retry path in a circuit breaker;
+        #: ``serve_stale_s`` turns on stale-while-revalidate map-caches.
+        self.server_max_pending = server_max_pending
+        self.server_max_backlog_s = server_max_backlog_s
+        self.backpressure = backpressure
+        self.breaker = breaker
+        self.serve_stale_s = serve_stale_s
 
 
 def inject_burst(endpoint, dst_ip, size=1500, payload=None, count=1,
@@ -176,6 +194,8 @@ class FabricNetwork:
                 rloc=IPv4Address(base_server_rloc + 8 * index),
                 node=self._spines[index % len(self._spines)],
                 seed=cfg.seed + 1 + index,
+                max_pending=cfg.server_max_pending,
+                max_backlog_s=cfg.server_max_backlog_s,
             )
             for index in range(cfg.num_routing_servers)
         ]
@@ -247,6 +267,9 @@ class FabricNetwork:
                 register_retry=cfg.register_retry,
                 register_refresh_s=cfg.register_refresh_s,
                 backup_border_rlocs=backup_rlocs,
+                backpressure=cfg.backpressure,
+                breaker=cfg.breaker,
+                serve_stale_s=cfg.serve_stale_s,
             )
             if cfg.l2_services:
                 L2Gateway(edge)
@@ -254,6 +277,9 @@ class FabricNetwork:
             self.edges.append(edge)
 
         self._endpoints = {}
+        #: active synthetic overload feeds, server index -> feed state
+        #: (see :meth:`overload_server`); empty in a healthy fabric.
+        self._overload_feeds = {}
         # Locally administered MACs, offset by the fabric's numbering block.
         self._mac_counter = 0x02_00_00_00_00_00 + (cfg.mac_block << 24)
 
@@ -429,6 +455,48 @@ class FabricNetwork:
         for border in self.borders:
             if not border.failed and border.routing_server_rloc == server.rloc:
                 border.subscribe()
+
+    def overload_server(self, index=0, rate_per_s=8000.0):
+        """Flood a routing server with synthetic Map-Requests.
+
+        Models a request storm (scanner, routing-loop amplification,
+        thundering herd) at a deterministic fixed rate: one phantom
+        request every ``1/rate_per_s`` seconds, with ``reply_to=None``
+        so replies vanish at the server's transport layer.  The ticks
+        are daemon events, so an active feed never wedges ``settle()``
+        — but every injected request still occupies a real service slot
+        on the server.  Idempotent per server index; ``relieve_server``
+        stops the feed.
+        """
+        key = int(index)
+        if key in self._overload_feeds:
+            return
+        # Phantom EID in TEST-NET-3: never enrolled, so every request
+        # resolves negative and mutates no mapping state.
+        self._overload_feeds[key] = {
+            "rate_per_s": float(rate_per_s),
+            "injected": 0,
+            "eid": IPv4Address.parse("203.0.113.99").to_prefix(),
+        }
+        self._overload_tick(key)
+
+    def relieve_server(self, index=0, rate_per_s=None):
+        """Stop the synthetic request storm on a routing server.
+
+        ``rate_per_s`` is accepted (and ignored) so the chaos engine can
+        replay the inject verb's args into the heal verb unchanged.
+        """
+        self._overload_feeds.pop(int(index), None)
+
+    def _overload_tick(self, key):
+        feed = self._overload_feeds.get(key)
+        if feed is None:
+            return   # relieved between ticks
+        server = self.routing_servers[key]
+        server.handle_message(MapRequest(VNId(1), feed["eid"], reply_to=None))
+        feed["injected"] += 1
+        self.sim.schedule_daemon(1.0 / feed["rate_per_s"],
+                                 self._overload_tick, key)
 
     def fail_border(self, index):
         """Kill a border; surviving borders adopt its away anchors.

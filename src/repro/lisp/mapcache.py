@@ -67,15 +67,24 @@ class MapCache:
     event queue free of per-entry timers at 16k-endpoint scale.
     """
 
-    __slots__ = ("sim", "default_ttl", "negative_ttl", "_tries", "_count",
+    __slots__ = ("sim", "default_ttl", "negative_ttl", "serve_stale_s",
+                 "stale_hits", "_tries", "_count",
                  "hits", "misses", "expirations", "invalidations",
                  "_trie_memo_key", "_trie_memo", "_hot_key", "_hot_entry",
                  "_soonest", "_rloc_counts")
 
-    def __init__(self, sim, default_ttl=1200.0, negative_ttl=15.0):
+    def __init__(self, sim, default_ttl=1200.0, negative_ttl=15.0,
+                 serve_stale_s=None):
         self.sim = sim
         self.default_ttl = default_ttl
         self.negative_ttl = negative_ttl
+        #: stale-while-revalidate window (overload armor, default off):
+        #: an expired *positive* entry is still returned for this many
+        #: seconds past its TTL — flagged stale via ``expires_at`` so
+        #: the caller re-resolves — instead of being deleted on access.
+        #: Negative entries never outlive their TTL.
+        self.serve_stale_s = serve_stale_s
+        self.stale_hits = 0
         self._tries = {}   # (vn int, family) -> PatriciaTrie of MapCacheEntry
         self._count = 0
         self.hits = 0
@@ -207,6 +216,16 @@ class MapCache:
             return None
         prefix, entry = hit
         if entry.expires_at <= now:
+            if (self.serve_stale_s is not None and not entry.negative
+                    and entry.expires_at + self.serve_stale_s > now):
+                # Degraded mode: serve the expired mapping (the caller
+                # sees expires_at <= now and re-resolves) rather than
+                # blackholing while the map server is drowning.  Not
+                # hot-cached: staleness is re-judged every lookup.
+                entry.last_used = now
+                self.hits += 1
+                self.stale_hits += 1
+                return entry
             trie.delete(prefix)
             self._note_removed((vn_int, key.family), entry)
             self._hot_key = None
@@ -267,6 +286,7 @@ class MapCache:
         future are skipped entirely.
         """
         now = self.sim.now
+        grace = self.serve_stale_s if self.serve_stale_s is not None else 0.0
         removed = 0
         for key, trie in self._tries.items():
             soonest = self._soonest.get(key)
@@ -275,10 +295,16 @@ class MapCache:
             victims = []
             next_soonest = None
             for prefix, entry in trie.items():
-                if entry.expires_at <= now:
+                # Positive entries get the stale-while-revalidate grace
+                # before a sweep may purge them (zero when the knob is
+                # off); negative entries never outlive their TTL.
+                deadline = entry.expires_at
+                if grace and not entry.negative:
+                    deadline += grace
+                if deadline <= now:
                     victims.append((prefix, entry))
-                elif next_soonest is None or entry.expires_at < next_soonest:
-                    next_soonest = entry.expires_at
+                elif next_soonest is None or deadline < next_soonest:
+                    next_soonest = deadline
             for prefix, entry in victims:
                 trie.delete(prefix)
                 self._note_removed(key, entry)

@@ -26,6 +26,12 @@ from __future__ import annotations
 
 from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
+from repro.core.queueing import (
+    PRIO_BULK,
+    PRIO_CRITICAL,
+    PRIO_NORMAL,
+    SerialQueue,
+)
 from repro.lisp.messages import (
     MapNotify,
     MapRegister,
@@ -78,11 +84,25 @@ class RoutingServer:
         The service time model; defaults calibrated so a lone request
         takes ~200 microseconds, matching the order of magnitude of a
         software map-server, though only *relative* delays are reported.
+    max_pending / max_backlog_s:
+        Overload armor (default off = the seed's unbounded FIFO).  When
+        either bound is set, arriving messages pass priority-aware
+        admission control: periodic refresh registers shed first, then
+        first-time registers, and Map-Requests / roam registers are
+        served until the queue is truly full (tail drop).  Shed messages
+        are simply never answered — senders recover through their
+        retry/refresh machinery once load subsides.
+    backpressure_threshold:
+        Queue pressure (fraction of the tightest bound) above which
+        registrar acks carry the in-band ``overloaded`` bit so edges /
+        WLCs widen their batching windows and stretch refreshes.
     """
 
     def __init__(self, sim, underlay=None, rloc=None, node=None,
                  base_service_s=300e-6, per_bit_service_s=1.5e-6,
-                 service_jitter_s=30e-6, seed=11):
+                 service_jitter_s=30e-6, seed=11,
+                 max_pending=None, max_backlog_s=None,
+                 backpressure_threshold=0.5):
         self.sim = sim
         self.underlay = underlay
         self.rloc = rloc
@@ -92,14 +112,20 @@ class RoutingServer:
         self.per_bit_service_s = per_bit_service_s
         self.service_jitter_s = service_jitter_s
         self._rng = SeededRng(seed)
-        self._busy_until = 0.0
-        self._queue_depth = 0
+        #: the control-plane FIFO (bounded when the overload knobs are
+        #: set); shed/pressure accounting lives on the queue itself
+        self.queue = SerialQueue(sim, max_depth=max_pending,
+                                 max_backlog_s=max_backlog_s)
+        self.queue.on_stale = self._on_stale_work
+        self.backpressure_threshold = backpressure_threshold
+        #: registrar acks that carried the overloaded bit (plain attr —
+        #: not a ledger field, so default-off runs stay bit-identical)
+        self.overload_signals = 0
         self._subscribers = {}   # rloc -> vn filter (None = all)
         #: crash/restart state (chaos suite): while down, every arriving
-        #: message is dropped; the epoch guard discards work that was
-        #: already queued when the process died.
+        #: message is dropped; the queue's epoch guard discards work
+        #: that was already queued when the process died.
         self.crashed = False
-        self._epoch = 0
         #: non-volatile configuration replayed on a cold restart —
         #: delegations are installed by the operator, not learned.
         self._config_delegates = []
@@ -134,38 +160,54 @@ class RoutingServer:
         jitter = self._rng.uniform(0, self.service_jitter_s)
         return self.base_service_s + self.per_bit_service_s * key_bits + jitter
 
+    def _classify(self, message):
+        """Admission priority class (only consulted on a bounded queue)."""
+        if message.kind == MapRegister.kind:
+            if message.refresh:
+                # Periodic keepalive: the state it re-asserts is still
+                # there; losing one costs nothing until the TTL sweep.
+                return PRIO_BULK
+            if message.records is None:
+                return PRIO_CRITICAL if message.mobility else PRIO_NORMAL
+            for record in message.records:
+                if record.mobility:
+                    return PRIO_CRITICAL
+            return PRIO_NORMAL
+        # Map-Requests (a user is waiting), unregisters, subscribes.
+        return PRIO_CRITICAL
+
     def _enqueue(self, message, completion):
         """FIFO queue: compute when this message's processing finishes."""
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        finish = start + self.service_time(message)
-        self._busy_until = finish
-        self._queue_depth += 1
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue_depth)
+        queue = self.queue
+        if queue.bounded and not queue.admit(self._classify(message)):
+            # Shed before the service-time draw: a dropped message is
+            # never serviced, so it must not consume RNG state either.
+            return
+        wait = queue.backlog_s
+        service = self.service_time(message)
         tracer = self.sim.tracer
+        span = None
         if tracer.enabled:
             # The FIFO model knows both queue wait and service time at
             # enqueue time — stamp them on the span up front.
             span = tracer.span(
                 "mapserver." + message.kind, device=self,
                 parent=message.trace_ctx,
-                queue_wait_s=start - now, service_s=finish - start,
+                queue_wait_s=wait, service_s=service,
                 records=getattr(message, "record_count", 1),
             )
-            self.sim.schedule(finish - now, self._complete, self._epoch,
-                              message, completion, span)
-        else:
-            self.sim.schedule(finish - now, self._complete, self._epoch,
-                              message, completion)
+        queue.submit(service, self._complete, message, completion, span)
+        if queue.depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = queue.depth
 
-    def _complete(self, epoch, message, completion, span=None):
-        if epoch != self._epoch or self.crashed:
-            # Queued before a crash: the process that owed this work is
-            # gone (its queue state was reset with it).
-            if span is not None:
-                span.finish(outcome="lost_in_crash")
-            return
-        self._queue_depth -= 1
+    def _on_stale_work(self, fn, args):
+        # Queued before a crash: the process that owed this work is
+        # gone (its queue state was reset with it).
+        span = args[2] if len(args) > 2 else None
+        if span is not None:
+            span.finish(outcome="lost_in_crash")
+
+    def _complete(self, message, completion, span=None):
         if span is not None:
             self._active_ctx = span.ctx
             try:
@@ -177,6 +219,16 @@ class RoutingServer:
             completion(message)
         if self.on_processed is not None:
             self.on_processed(message, self.sim.now)
+
+    @property
+    def _queue_depth(self):
+        """Back-compat alias (observability gauges read it)."""
+        return self.queue.depth
+
+    def _overloaded(self):
+        """True while the bounded queue is past the backpressure bar."""
+        return (self.queue.bounded
+                and self.queue.pressure >= self.backpressure_threshold)
 
     # -- transport ---------------------------------------------------------------------
     def _on_packet(self, packet):
@@ -283,6 +335,11 @@ class RoutingServer:
                                 nonce=register.nonce)
             else:
                 ack = MapNotify(records=committed, nonce=register.nonce)
+            if self._overloaded():
+                # In-band backpressure: tell the registrar to widen its
+                # batch window / stretch its refresh period.
+                ack.overloaded = True
+                self.overload_signals += 1
             self._send(register.registrar_rloc, ack)
 
     def _process_unregister(self, unregister):
@@ -325,14 +382,12 @@ class RoutingServer:
         if self.crashed:
             return
         self.crashed = True
-        self._epoch += 1
         self.stats.crashes += 1
         fresh = MappingDatabase()
         fresh.adopt_versions(self.database)
         self.database = fresh
         self._subscribers = {}
-        self._busy_until = 0.0
-        self._queue_depth = 0
+        self.queue.reset()
         if self.underlay is not None:
             self.underlay.set_announced(self.rloc, False)
 

@@ -63,10 +63,10 @@ class EidRecord:
     """
 
     __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl",
-                 "withdraw")
+                 "withdraw", "refresh")
 
     def __init__(self, vn, eid, rloc, group=None, mac=None, mobility=False,
-                 ttl=None, withdraw=False):
+                 ttl=None, withdraw=False, refresh=False):
         self.vn = vn
         self.eid = eid
         self.rloc = rloc
@@ -75,6 +75,10 @@ class EidRecord:
         self.mobility = mobility
         self.ttl = ttl
         self.withdraw = withdraw
+        #: True for a periodic keepalive re-registration (no state
+        #: change expected) — the map server's admission control sheds
+        #: these first under overload
+        self.refresh = refresh
 
     def __repr__(self):
         return "EidRecord(vn=%d, %s %s %s)" % (
@@ -104,18 +108,21 @@ class MapRegister(ControlMessage):
     """
 
     __slots__ = ("vn", "eid", "rloc", "group", "mac", "mobility", "ttl",
-                 "registrar_rloc", "records")
+                 "registrar_rloc", "records", "refresh")
 
     kind = "map-register"
 
     def __init__(self, vn=None, eid=None, rloc=None, group=None, mac=None,
                  mobility=False, ttl=None, registrar_rloc=None, records=None,
-                 nonce=None):
+                 nonce=None, refresh=False):
         super().__init__(nonce)
         if records:
             records = tuple(records)
             first = records[0]
             vn, eid, rloc, group = first.vn, first.eid, first.rloc, first.group
+            # A batch is a refresh only if every record is one — a
+            # single roam or withdrawal makes the whole batch load-bearing.
+            refresh = all(r.refresh for r in records)
         self.vn = vn
         self.eid = eid
         self.rloc = rloc
@@ -128,6 +135,8 @@ class MapRegister(ControlMessage):
         self.registrar_rloc = registrar_rloc
         #: batched EID-records (``None`` = classic single-record message)
         self.records = records if records else None
+        #: periodic keepalive re-registration (sheds first under overload)
+        self.refresh = refresh
 
     @property
     def eid_records(self):
@@ -135,7 +144,8 @@ class MapRegister(ControlMessage):
         if self.records is not None:
             return self.records
         return (EidRecord(self.vn, self.eid, self.rloc, group=self.group,
-                          mac=self.mac, mobility=self.mobility, ttl=self.ttl),)
+                          mac=self.mac, mobility=self.mobility, ttl=self.ttl,
+                          refresh=self.refresh),)
 
     @property
     def record_count(self):
@@ -220,7 +230,7 @@ class MapNotify(ControlMessage):
     one-element tuple for the classic single-record form.
     """
 
-    __slots__ = ("vn", "eid", "record", "records")
+    __slots__ = ("vn", "eid", "record", "records", "overloaded")
 
     kind = "map-notify"
 
@@ -236,6 +246,10 @@ class MapNotify(ControlMessage):
         self.record = record
         #: batched records (``None`` = classic single-record message)
         self.records = records if records else None
+        #: in-band backpressure bit: the server set this while its
+        #: bounded queue was above the backpressure threshold, telling
+        #: the registrar to widen batch windows / stretch refreshes
+        self.overloaded = False
 
     @property
     def mapping_records(self):

@@ -98,7 +98,9 @@ class MultiSiteConfig:
                  border_failover=False,
                  registration_ttl_s=None, registration_sweep_s=None,
                  transit_retry=None, away_refresh_s=None,
-                 away_anchor_ttl_s=None):
+                 away_anchor_ttl_s=None,
+                 server_max_pending=None, server_max_backlog_s=None,
+                 backpressure=False, breaker=None, serve_stale_s=None):
         if num_sites < 1:
             raise ConfigurationError("a multi-site fabric needs at least one site")
         self.num_sites = num_sites
@@ -139,6 +141,13 @@ class MultiSiteConfig:
         self.transit_retry = transit_retry
         self.away_refresh_s = away_refresh_s
         self.away_anchor_ttl_s = away_anchor_ttl_s
+        #: overload-armor knobs, replicated into every site (same
+        #: defaults-off contract as :class:`FabricConfig`)
+        self.server_max_pending = server_max_pending
+        self.server_max_backlog_s = server_max_backlog_s
+        self.backpressure = backpressure
+        self.breaker = breaker
+        self.serve_stale_s = serve_stale_s
 
     def site_config(self, index):
         return FabricConfig(
@@ -162,6 +171,11 @@ class MultiSiteConfig:
             border_failover=self.border_failover,
             registration_ttl_s=self.registration_ttl_s,
             registration_sweep_s=self.registration_sweep_s,
+            server_max_pending=self.server_max_pending,
+            server_max_backlog_s=self.server_max_backlog_s,
+            backpressure=self.backpressure,
+            breaker=self.breaker,
+            serve_stale_s=self.serve_stale_s,
         )
 
 
@@ -476,6 +490,16 @@ class MultiSiteNetwork:
         node = self._transit_access[index]
         for core in self._transit_cores:
             self.transit_topology.set_link_state(node, core, True)
+
+    def overload_server(self, site, index=0, rate_per_s=8000.0):
+        """Storm a site's routing server (delegates to the site fabric)."""
+        self.sites[self.site_index(site)].overload_server(
+            index=index, rate_per_s=rate_per_s)
+
+    def relieve_server(self, site, index=0, rate_per_s=None):
+        """Stop a site's request storm (heal verb for ``overload``)."""
+        self.sites[self.site_index(site)].relieve_server(
+            index=index, rate_per_s=rate_per_s)
 
     def fail_transit_border(self, site):
         """Kill a site's transit border; the standby takes over.

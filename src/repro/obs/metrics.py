@@ -160,6 +160,53 @@ class MetricRegistry:
                        lambda: engine.faults_injected)
             self.gauge("chaos.faults_healed", lambda: engine.faults_healed)
 
+    def enroll_overload(self, servers, edges=(), wlcs=()):
+        """Wire the overload-armor surfaces as gauges.
+
+        Per routing server: bounded-queue depth/backlog/pressure, shed
+        totals (and the per-priority-class split), the deepest backlog
+        seen, and how many acks carried the in-band overloaded bit.
+        Per edge: the AIMD backpressure factor, stale map-cache serves,
+        and circuit-breaker opens/deferrals.  Per WLC: backpressure
+        factor and breaker deferrals.  All of these are plain attributes
+        (not ``Counters`` fields), so enrolling them leaves every ledger
+        digest untouched.
+        """
+        for index, server in enumerate(servers):
+            prefix = "overload.server%d." % index
+            queue = server.queue
+            self.gauge(prefix + "queue_depth", lambda q=queue: q.depth)
+            self.gauge(prefix + "queue_backlog_s", lambda q=queue: q.backlog_s)
+            self.gauge(prefix + "queue_pressure", lambda q=queue: q.pressure)
+            self.gauge(prefix + "shed_total", lambda q=queue: q.shed_total)
+            self.gauge(prefix + "shed_by_class",
+                       lambda q=queue: dict(q.shed_by_class))
+            self.gauge(prefix + "max_depth_seen",
+                       lambda q=queue: q.max_depth_seen)
+            self.gauge(prefix + "overload_signals",
+                       lambda s=server: s.overload_signals)
+        for index, edge in enumerate(edges):
+            prefix = "overload.edge%d." % index
+            self.gauge(prefix + "bp_factor", lambda e=edge: e._bp_factor)
+            self.gauge(prefix + "bp_overload_acks",
+                       lambda e=edge: e.bp_overload_acks)
+            self.gauge(prefix + "stale_served", lambda e=edge: e.stale_served)
+            self.gauge(prefix + "stale_hits",
+                       lambda e=edge: e.map_cache.stale_hits)
+            self.gauge(prefix + "breaker_deferrals",
+                       lambda e=edge: e.breaker_deferrals)
+            self.gauge(
+                prefix + "breaker_opens",
+                lambda e=edge: sum(b.opens for b in e._breakers.values()),
+            )
+        for index, wlc in enumerate(wlcs):
+            prefix = "overload.wlc%d." % index
+            self.gauge(prefix + "bp_factor", lambda w=wlc: w._bp_factor)
+            self.gauge(prefix + "bp_overload_acks",
+                       lambda w=wlc: w.bp_overload_acks)
+            self.gauge(prefix + "breaker_deferrals",
+                       lambda w=wlc: w.breaker_deferrals)
+
     def auto_enroll(self):
         """Enroll every live tracked :class:`Counters` instance.
 

@@ -22,6 +22,10 @@ import json
 import sys
 
 from repro.workloads.chaos_campus import ChaosCampusWorkload
+from repro.workloads.overload_storm import (
+    OverloadStormProfile,
+    OverloadStormWorkload,
+)
 from repro.workloads.distributed_wireless_campus import (
     DistributedWirelessCampusProfile,
     DistributedWirelessCampusWorkload,
@@ -80,6 +84,20 @@ def chaos_campus_digest(duration_s=12.0, seed=17):
     return workload.digest()
 
 
+def overload_storm_digest(duration_s=6.0, seed=17):
+    """Digest of the armored overload-storm run (shed + breaker ledger).
+
+    Protection is on: admission shedding, backpressure factor changes,
+    breaker trips and stale-while-revalidate serves all feed the
+    ledger, so any nondeterminism in the overload armor (e.g. an
+    unordered walk over pending registers) shows up here.
+    """
+    workload = OverloadStormWorkload(
+        OverloadStormProfile(protected=True), seed=seed)
+    workload.run(duration_s=duration_s)
+    return workload.digest()
+
+
 def main(argv=None):
     args = sys.argv[1:] if argv is None else argv
     duration_s = float(args[0]) if args else None
@@ -93,6 +111,12 @@ def main(argv=None):
         {} if duration_s is None else {"duration_s": max(duration_s, 12.0)}
     )
     print("chaos_campus %s" % chaos_campus_digest(**chaos_kwargs))
+    # The storm window is fixed by the profile (relieved at ~3 s), so
+    # never cut the run shorter than its default 6 s envelope.
+    overload_kwargs = (
+        {} if duration_s is None else {"duration_s": max(duration_s, 6.0)}
+    )
+    print("overload_storm %s" % overload_storm_digest(**overload_kwargs))
     return 0
 
 

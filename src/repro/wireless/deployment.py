@@ -47,7 +47,8 @@ class WirelessConfig:
                  air_delay_s=AIR_DELAY_S, uplink_delay_s=UPLINK_DELAY_S,
                  register_families=("ipv4", "mac"),
                  batching=False, register_flush_s=2e-3,
-                 register_retry=None):
+                 register_retry=None,
+                 backpressure=False, breaker=None):
         if aps_per_edge < 1:
             raise ConfigurationError("need at least one AP per edge")
         self.aps_per_edge = aps_per_edge
@@ -62,6 +63,11 @@ class WirelessConfig:
         #: chaos-suite recovery: a RetryPolicy for unacked registrations
         #: (None keeps the one-shot baseline)
         self.register_retry = register_retry
+        #: overload armor (default off): ``backpressure`` reacts to the
+        #: in-band overloaded bit on register acks; ``breaker`` is a
+        #: :class:`repro.core.BreakerPolicy` guarding the retry path.
+        self.backpressure = backpressure
+        self.breaker = breaker
 
 
 class WirelessFabric:
@@ -83,6 +89,8 @@ class WirelessFabric:
             batching=cfg.batching,
             register_flush_s=cfg.register_flush_s,
             register_retry=cfg.register_retry,
+            backpressure=cfg.backpressure,
+            breaker=cfg.breaker,
         )
         self.aps = []
         for edge in net.edges:

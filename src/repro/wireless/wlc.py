@@ -31,6 +31,7 @@ exactly the scaling property the fabric design buys.
 from __future__ import annotations
 
 from repro.core.batching import Batcher
+from repro.core.breaker import CircuitBreaker
 from repro.core.counters import Counters
 from repro.core.errors import ConfigurationError
 from repro.core.queueing import SerialQueue
@@ -102,7 +103,8 @@ class FabricWlc:
                  policy_server_rloc, dhcp, service_s=150e-6,
                  register_families=("ipv4", "mac"),
                  batching=False, register_flush_s=2e-3,
-                 register_retry=None, seed=37):
+                 register_retry=None, seed=37,
+                 backpressure=False, breaker=None):
         self.sim = sim
         self.underlay = underlay
         self.rloc = rloc
@@ -120,6 +122,17 @@ class FabricWlc:
         #: the retry, a lost Map-Register (or a crashed routing server)
         #: strands the station's location until its next roam.
         self.register_retry = register_retry
+        #: overload armor (default off): widen the batch flush window
+        #: when the ack server signals overload in-band...
+        self.backpressure = backpressure
+        self._bp_factor = 1.0
+        self.bp_max_factor = 8.0
+        self.bp_overload_acks = 0
+        #: ...and gate registration resends behind a circuit breaker on
+        #: the ack server so the WLC never feeds a retry storm.
+        self.breaker_policy = breaker
+        self._ack_breaker = None
+        self.breaker_deferrals = 0
         self._rng = SeededRng(seed).spawn("wlc")
         self._batchers = {}       # server rloc -> Batcher of EidRecord
         self._batch_nonce = {}    # server rloc -> nonce of the open batch
@@ -344,7 +357,7 @@ class FabricWlc:
                 self.sim,
                 lambda records, rloc=server_rloc:
                     self._flush_registers(rloc, records),
-                window_s=self.register_flush_s,
+                window_s=self.register_flush_s * self._bp_factor,
             )
             batcher.flush_hist = self.batch_flush_hist
             self._batchers[server_rloc] = batcher
@@ -396,6 +409,19 @@ class FabricWlc:
             self.stats.register_retry_exhausted += 1
             reg_span.finish(outcome="retry_exhausted")
             return
+        if self.breaker_policy is not None:
+            breaker = self._breaker()
+            breaker.record_failure()
+            if not breaker.allow():
+                # Breaker open: hold the registration (pending entry and
+                # nonce stay pinned) and probe when it half-opens; the
+                # attempt is not burned.
+                self.breaker_deferrals += 1
+                self.sim.schedule(
+                    max(breaker.remaining_s, self.register_retry.base_s),
+                    self._check_register_ack, key, nonce, attempt,
+                )
+                return
         self.stats.register_retries_sent += 1
         vn, eid = key
         ack = True
@@ -417,6 +443,26 @@ class FabricWlc:
             self._send(server_rloc, register)
             ack = False
 
+    def _breaker(self):
+        """The circuit breaker guarding the ack server's retry path."""
+        if self._ack_breaker is None:
+            self._ack_breaker = CircuitBreaker(self.sim, self.breaker_policy,
+                                               rng=self._rng)
+        return self._ack_breaker
+
+    def _note_backpressure(self, overloaded):
+        """Mirror of the edge's AIMD reaction to the overloaded bit."""
+        factor = self._bp_factor
+        if overloaded:
+            self.bp_overload_acks += 1
+            factor = min(self.bp_max_factor, factor * 2.0)
+        else:
+            factor = max(1.0, factor * 0.5)
+        if factor != self._bp_factor:
+            self._bp_factor = factor
+            for batcher in self._batchers.values():
+                batcher.window_s = self.register_flush_s * factor
+
     def _on_register_ack(self, notify):
         """Routing server committed proxied registration(s).
 
@@ -424,6 +470,11 @@ class FabricWlc:
         batch ack; stale-edge relays are re-aggregated per edge so a
         batch of N roams costs each stale edge one message, not N.
         """
+        if self.breaker_policy is not None:
+            # Any ack proves the ack server is answering again.
+            self._breaker().record_success()
+        if self.backpressure:
+            self._note_backpressure(notify.overloaded)
         relays = {}        # stale rloc -> [record copies]
         completions = []   # (station, delay) in ack order
         for record in notify.mapping_records:

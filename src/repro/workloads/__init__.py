@@ -14,6 +14,10 @@
 * :mod:`repro.workloads.chaos_campus` — a two-border campus carrying
   probe traffic and wireless roams while a fault schedule breaks links,
   servers and borders (chaos suite's canonical scenario).
+* :mod:`repro.workloads.overload_storm` — a request storm at ~3x server
+  capacity measuring resolution goodput with and without the overload
+  armor (bounded queues, admission control, backpressure, breakers,
+  serve-stale).
 * :mod:`repro.workloads.traffic` — shared flow/popularity machinery.
 """
 
@@ -45,6 +49,11 @@ from repro.workloads.chaos_campus import (
     ChaosCampusProfile,
     ChaosCampusWorkload,
 )
+from repro.workloads.overload_storm import (
+    OverloadStormProfile,
+    OverloadStormWorkload,
+    ResolutionProber,
+)
 
 __all__ = [
     "ChaosCampusProfile",
@@ -54,7 +63,10 @@ __all__ = [
     "DistributedWirelessCampusProfile",
     "DistributedWirelessCampusWorkload",
     "FlowGenerator",
+    "OverloadStormProfile",
+    "OverloadStormWorkload",
     "PopularityModel",
+    "ResolutionProber",
     "CampusProfile",
     "CampusWorkload",
     "BUILDING_A",

@@ -1,0 +1,123 @@
+"""Unit tests for the circuit breaker (closed / open / half-open)."""
+
+import pytest
+
+from repro.core.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+
+
+def _breaker(sim, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout_s", 1.0)
+    kwargs.setdefault("jitter", 0.0)
+    return CircuitBreaker(sim, BreakerPolicy(**kwargs))
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        BreakerPolicy(failure_threshold=0)
+    with pytest.raises(ConfigurationError):
+        BreakerPolicy(reset_timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        BreakerPolicy(jitter=-0.1)
+
+
+def test_jittered_breaker_requires_rng(sim):
+    """Same contract as RetryPolicy.delay_s: jitter without an rng is a
+    configuration error, not a silent determinism hole."""
+    policy = BreakerPolicy(jitter=0.2)
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(sim, policy)
+    assert CircuitBreaker(sim, policy, rng=SeededRng(1)) is not None
+
+
+def test_closed_breaker_allows_and_counts_failures(sim):
+    breaker = _breaker(sim)
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED    # below threshold
+    assert breaker.allow()
+
+
+def test_threshold_failures_trip_open(sim):
+    breaker = _breaker(sim)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 1
+    assert not breaker.allow()
+    assert breaker.rejections == 1
+    assert breaker.remaining_s == pytest.approx(1.0)
+
+
+def test_open_breaker_half_opens_after_timeout(sim):
+    breaker = _breaker(sim)
+    for _ in range(3):
+        breaker.record_failure()
+    sim.run(until=0.5)
+    assert not breaker.allow()              # still cooling off
+    sim.run(until=1.0)
+    assert breaker.allow()                  # the single probe
+    assert breaker.state == STATE_HALF_OPEN
+    assert breaker.probes == 1
+
+
+def test_half_open_success_closes(sim):
+    breaker = _breaker(sim)
+    for _ in range(3):
+        breaker.record_failure()
+    sim.run(until=1.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.failures == 0
+    assert breaker.allow()
+
+
+def test_half_open_failure_retrips_immediately(sim):
+    breaker = _breaker(sim)
+    for _ in range(3):
+        breaker.record_failure()
+    sim.run(until=1.0)
+    assert breaker.allow()
+    breaker.record_failure()                # probe failed: back to open
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 2
+    assert not breaker.allow()
+    assert breaker.remaining_s == pytest.approx(1.0)
+
+
+def test_jitter_spreads_reopen_times_deterministically(sim):
+    breaker = CircuitBreaker(
+        sim, BreakerPolicy(failure_threshold=1, reset_timeout_s=1.0,
+                           jitter=0.5),
+        rng=SeededRng(42),
+    )
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    remaining = breaker.remaining_s
+    assert 1.0 <= remaining <= 1.5
+    # Same seed, same draw: the jitter is reproducible.
+    other = CircuitBreaker(
+        sim, BreakerPolicy(failure_threshold=1, reset_timeout_s=1.0,
+                           jitter=0.5),
+        rng=SeededRng(42),
+    )
+    other.record_failure()
+    assert other.remaining_s == remaining
+
+
+def test_remaining_is_zero_unless_open(sim):
+    breaker = _breaker(sim)
+    assert breaker.remaining_s == 0.0
+    breaker.record_failure()
+    assert breaker.remaining_s == 0.0

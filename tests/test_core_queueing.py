@@ -1,0 +1,166 @@
+"""Unit tests for SerialQueue: busy-until arithmetic, bounds, admission."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.queueing import (
+    ADMIT_FRACTIONS,
+    PRIO_BULK,
+    PRIO_CRITICAL,
+    PRIO_NORMAL,
+    SerialQueue,
+)
+from repro.obs.metrics import Histogram
+
+
+# ------------------------------------------------------------------ seed model
+def test_fifo_busy_until_ordering(sim):
+    done = []
+    queue = SerialQueue(sim)
+    queue.submit(1.0, done.append, "a")
+    queue.submit(2.0, done.append, "b")
+    sim.run()
+    assert done == ["a", "b"]
+    assert sim.now == 3.0
+    assert queue.max_delay_s == 1.0     # "b" waited behind "a"
+    assert queue.submitted == 2
+
+
+def test_backlog_is_zero_at_exact_completion_boundary(sim):
+    """At ``busy_until == now`` the server is free, not infinitesimally
+    busy: backlog_s must be exactly 0.0, never a negative float."""
+    queue = SerialQueue(sim)
+    queue.submit(1.0, lambda: None)
+    assert queue.backlog_s == 1.0
+    sim.run(until=1.0)
+    assert sim.now == 1.0
+    assert queue.backlog_s == 0.0
+    # A new arrival right at the boundary starts immediately.
+    queue.submit(0.5, lambda: None)
+    assert queue.max_delay_s == 0.0
+
+
+def test_wait_hist_records_per_item_queue_wait(sim):
+    queue = SerialQueue(sim)
+    queue.wait_hist = Histogram("wait")
+    queue.submit(1.0, lambda: None)     # waits 0
+    queue.submit(1.0, lambda: None)     # waits 1.0
+    queue.submit(1.0, lambda: None)     # waits 2.0
+    assert queue.wait_hist.count == 3
+    assert queue.wait_hist.total == pytest.approx(3.0)
+    assert queue.wait_hist.max_value == pytest.approx(2.0)
+    assert queue.wait_hist.min_value == 0.0
+
+
+def test_depth_tracks_outstanding_work(sim):
+    queue = SerialQueue(sim)
+    queue.submit(1.0, lambda: None)
+    queue.submit(1.0, lambda: None)
+    assert queue.depth == 2
+    assert queue.max_depth_seen == 2
+    sim.run(until=1.0)
+    assert queue.depth == 1
+    sim.run()
+    assert queue.depth == 0
+    assert queue.max_depth_seen == 2    # high-water mark sticks
+
+
+# ------------------------------------------------------------------ bounds
+def test_bound_validation():
+    assert not SerialQueue(None).bounded
+    with pytest.raises(ConfigurationError):
+        SerialQueue(None, max_depth=0)
+    with pytest.raises(ConfigurationError):
+        SerialQueue(None, max_backlog_s=0.0)
+
+
+def test_unbounded_queue_admits_everything_at_any_depth(sim):
+    queue = SerialQueue(sim)
+    for _ in range(100):
+        assert queue.try_submit(1.0, lambda: None) is not None
+    assert queue.pressure == 0.0
+    assert queue.shed_total == 0
+
+
+def test_depth_bound_tail_drops(sim):
+    queue = SerialQueue(sim, max_depth=2)
+    assert queue.try_submit(1.0, lambda: None) is not None
+    assert queue.try_submit(1.0, lambda: None) is not None
+    assert queue.pressure == 1.0
+    assert queue.try_submit(1.0, lambda: None, priority=PRIO_CRITICAL) is None
+    assert queue.shed_total == 1
+    assert queue.shed_by_class[PRIO_CRITICAL] == 1
+    # A completion frees a slot and admission recovers.
+    sim.run(until=1.0)
+    assert queue.try_submit(1.0, lambda: None, priority=PRIO_CRITICAL) is not None
+
+
+def test_backlog_bound_sheds_on_time_not_count(sim):
+    queue = SerialQueue(sim, max_backlog_s=1.0)
+    queue.submit(1.0, lambda: None)     # backlog now 1.0 == bound
+    assert queue.pressure == 1.0
+    assert not queue.admit(PRIO_CRITICAL)
+    sim.run(until=0.6)                  # backlog drains to 0.4
+    assert queue.admit(PRIO_CRITICAL)
+
+
+# ------------------------------------------------------------------ admission
+def test_priority_thresholds_shed_bulk_before_normal_before_critical(sim):
+    queue = SerialQueue(sim, max_depth=10)
+    for _ in range(6):                  # pressure 0.6
+        queue.submit(1.0, lambda: None)
+    assert queue.admit(PRIO_CRITICAL)
+    assert queue.admit(PRIO_NORMAL)
+    assert not queue.admit(PRIO_BULK)   # 0.6 >= 0.5
+    for _ in range(3):                  # pressure 0.9
+        queue.submit(1.0, lambda: None)
+    assert queue.admit(PRIO_CRITICAL)
+    assert not queue.admit(PRIO_NORMAL)  # 0.9 >= 0.9
+    assert queue.shed_by_class[PRIO_BULK] == 1
+    assert queue.shed_by_class[PRIO_NORMAL] == 1
+    assert queue.shed_total == 2
+
+
+def test_admit_thresholds_are_monotone():
+    """The structural no-priority-inversion guarantee: any pressure that
+    sheds a more-critical class has already shed every less-critical one."""
+    assert (ADMIT_FRACTIONS[PRIO_CRITICAL]
+            > ADMIT_FRACTIONS[PRIO_NORMAL]
+            > ADMIT_FRACTIONS[PRIO_BULK])
+
+
+def test_admission_log_captures_every_decision(sim):
+    queue = SerialQueue(sim, max_depth=2)
+    queue.admission_log = []
+    queue.try_submit(1.0, lambda: None, priority=PRIO_BULK)
+    queue.try_submit(1.0, lambda: None, priority=PRIO_BULK)
+    queue.try_submit(1.0, lambda: None, priority=PRIO_CRITICAL)
+    assert [(prio, admitted) for _, prio, admitted, _ in queue.admission_log] \
+        == [(PRIO_BULK, True), (PRIO_BULK, False), (PRIO_CRITICAL, True)]
+    pressures = [entry[3] for entry in queue.admission_log]
+    assert pressures == [0.0, 0.5, 0.5]
+
+
+# ------------------------------------------------------------------ crash reset
+def test_reset_drops_queued_work_and_frees_the_server(sim):
+    done = []
+    queue = SerialQueue(sim, max_depth=4)
+    queue.submit(1.0, done.append, "old")
+    queue.submit(1.0, done.append, "older")
+    queue.reset()
+    assert queue.depth == 0
+    assert queue.backlog_s == 0.0
+    queue.submit(0.5, done.append, "new")
+    sim.run()
+    # Pre-reset completions fired as stale no-ops, not into the new epoch.
+    assert done == ["new"]
+
+
+def test_on_stale_hook_sees_dropped_work(sim):
+    stale = []
+    queue = SerialQueue(sim)
+    queue.on_stale = lambda fn, args: stale.append(args)
+    queue.submit(1.0, lambda tag: None, "victim")
+    queue.reset()
+    sim.run()
+    assert stale == [("victim",)]

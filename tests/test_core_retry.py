@@ -29,14 +29,25 @@ def test_exhaustion_boundary():
 def test_jitter_is_bounded_and_seeded():
     policy = RetryPolicy(base_s=0.5, multiplier=1.0, max_delay_s=0.5,
                          jitter=0.2)
-    base = policy.delay_s(0)
-    assert base == pytest.approx(0.5)
     delays = [policy.delay_s(0, SeededRng(7)) for _ in range(3)]
     # Same fresh seed -> same jittered delay; always within the band.
     assert delays[0] == delays[1] == delays[2]
     assert 0.5 <= delays[0] <= 0.5 * 1.2
     other = policy.delay_s(0, SeededRng(8))
     assert other != delays[0]
+
+
+def test_jittered_policy_requires_rng():
+    """Regression: jitter > 0 with no rng used to silently disable the
+    jitter, re-synchronizing every retrier; it is a loud error now."""
+    policy = RetryPolicy(base_s=0.5, multiplier=1.0, max_delay_s=0.5,
+                         jitter=0.2)
+    with pytest.raises(ConfigurationError):
+        policy.delay_s(0)
+    # An unjittered policy keeps working without an rng.
+    flat = RetryPolicy(base_s=0.5, multiplier=1.0, max_delay_s=0.5,
+                       jitter=0.0)
+    assert flat.delay_s(0) == pytest.approx(0.5)
 
 
 def test_validation():

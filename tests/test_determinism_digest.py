@@ -31,7 +31,8 @@ def test_digests_identical_across_hash_seeds():
     second = _run("31337")
     assert first == second
     lines = first.strip().splitlines()
-    assert len(lines) == 3
+    assert len(lines) == 4
     assert lines[0].startswith("wireless_campus ")
     assert lines[1].startswith("distributed_wireless_campus ")
     assert lines[2].startswith("chaos_campus ")
+    assert lines[3].startswith("overload_storm ")
